@@ -1,0 +1,103 @@
+// Experiment E4: Collection query throughput.
+//
+// The Collection is on every scheduler's critical path.  This harness
+// times the query engine (google-benchmark) over record counts from 1e2
+// to 1e5, with three query shapes -- cheap field equality, the paper's
+// regexp match(), and a compound expression -- on both the serial and
+// the sharded-parallel evaluation paths.  Expected shape: cost linear in
+// records; regexp a constant factor over equality; the parallel path
+// overtaking serial somewhere in the 1e4-record range.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace legion::bench {
+namespace {
+
+std::unique_ptr<SimKernel> g_kernel;
+
+CollectionObject* BuildCollection(std::size_t records) {
+  static std::map<std::size_t, CollectionObject*> cache;
+  auto it = cache.find(records);
+  if (it != cache.end()) return it->second;
+  if (!g_kernel) g_kernel = std::make_unique<SimKernel>(QuietNet());
+  auto* collection = g_kernel->AddActor<CollectionObject>(
+      g_kernel->minter().Mint(LoidSpace::kService, 0));
+  Rng rng(records * 31 + 7);
+  const auto& platforms = KnownPlatforms();
+  for (std::size_t i = 0; i < records; ++i) {
+    const Platform& platform = platforms[rng.Index(platforms.size())];
+    AttributeDatabase attrs;
+    attrs.Set("host_name", "host" + std::to_string(i));
+    attrs.Set("host_arch", platform.arch);
+    attrs.Set("host_os_name", platform.os_name);
+    attrs.Set("host_os_version", platform.os_version);
+    attrs.Set("host_load", rng.Uniform(0.0, 2.0));
+    attrs.Set("host_cpus", rng.UniformInt(1, 16));
+    attrs.Set("host_memory_mb", rng.UniformInt(128, 4096));
+    collection->JoinCollection(Loid(LoidSpace::kHost, 0, i + 1), attrs,
+                               [](Result<bool>) {});
+  }
+  cache[records] = collection;
+  return collection;
+}
+
+const char* QueryText(int shape) {
+  switch (shape) {
+    case 0:  // equality
+      return "$host_arch == \"x86\"";
+    case 1:  // the paper's regexp matching
+      return "match($host_os_name, \"IRIX\") and "
+             "match(\"5\\..*\", $host_os_version)";
+    default:  // compound
+      return "($host_arch == \"x86\" or $host_arch == \"alpha\") and "
+             "$host_load < 1.0 and $host_memory_mb >= 512 and "
+             "defined($host_cpus)";
+  }
+}
+
+void BM_QuerySerial(benchmark::State& state) {
+  CollectionObject* collection =
+      BuildCollection(static_cast<std::size_t>(state.range(0)));
+  auto query = query::CompiledQuery::Compile(
+      QueryText(static_cast<int>(state.range(1))));
+  for (auto _ : state) {
+    auto result = collection->QueryLocal(*query);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_QueryParallel(benchmark::State& state) {
+  CollectionObject* collection =
+      BuildCollection(static_cast<std::size_t>(state.range(0)));
+  auto query = query::CompiledQuery::Compile(
+      QueryText(static_cast<int>(state.range(1))));
+  const unsigned threads = static_cast<unsigned>(state.range(2));
+  for (auto _ : state) {
+    auto result = collection->QueryLocalParallel(*query, threads);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_QueryCompile(benchmark::State& state) {
+  const char* text = QueryText(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto query = query::CompiledQuery::Compile(text);
+    benchmark::DoNotOptimize(query);
+  }
+}
+
+BENCHMARK(BM_QuerySerial)
+    ->ArgsProduct({{100, 1000, 10000, 100000}, {0, 1, 2}})
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_QueryParallel)
+    ->ArgsProduct({{10000, 100000}, {0, 1, 2}, {2, 4, 8}})
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_QueryCompile)->DenseRange(0, 2)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace legion::bench
+
+BENCHMARK_MAIN();

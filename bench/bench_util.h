@@ -1,0 +1,65 @@
+// Shared scaffolding for the experiment harnesses (see DESIGN.md §5 and
+// EXPERIMENTS.md).  Each bench binary prints one experiment's table.
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workload/metacomputer.h"
+
+namespace legion::bench {
+
+inline NetworkParams QuietNet() {
+  NetworkParams params;
+  params.jitter_fraction = 0.05;
+  params.seed = 99;
+  return params;
+}
+
+// A fresh deterministic world for one experiment cell.
+struct World {
+  std::unique_ptr<SimKernel> kernel;
+  std::unique_ptr<Metacomputer> metacomputer;
+
+  Metacomputer* operator->() const { return metacomputer.get(); }
+};
+
+inline World MakeWorld(MetacomputerConfig config,
+                       NetworkParams net = QuietNet()) {
+  World world;
+  world.kernel = std::make_unique<SimKernel>(net);
+  world.metacomputer =
+      std::make_unique<Metacomputer>(world.kernel.get(), config);
+  world.metacomputer->PopulateCollection();
+  return world;
+}
+
+// Minimal table printer: header once, then printf-style rows.
+class Table {
+ public:
+  Table(std::string title, std::string header)
+      : title_(std::move(title)), header_(std::move(header)) {}
+
+  void Begin() const {
+    std::printf("\n=== %s ===\n%s\n", title_.c_str(), header_.c_str());
+    for (std::size_t i = 0; i < header_.size(); ++i) std::putchar('-');
+    std::putchar('\n');
+  }
+
+  __attribute__((format(printf, 2, 3))) void Row(const char* fmt, ...) const {
+    va_list args;
+    va_start(args, fmt);
+    std::vprintf(fmt, args);
+    va_end(args);
+    std::putchar('\n');
+  }
+
+ private:
+  std::string title_;
+  std::string header_;
+};
+
+}  // namespace legion::bench

@@ -1,0 +1,96 @@
+// A small dynamic bitset.
+//
+// The schedule data structure (paper figure 5 / section 3.4) attaches a
+// bitmap to each variant schedule -- one bit per object mapping -- so the
+// Enactor can efficiently select the next variant to try and avoid
+// reservation thrashing.  std::vector<bool> would do, but we also need
+// popcount, intersection tests, and find-first, so we keep our own.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace legion {
+
+class Bitmap {
+ public:
+  Bitmap() = default;
+  explicit Bitmap(std::size_t nbits)
+      : nbits_(nbits), words_((nbits + 63) / 64, 0) {}
+
+  std::size_t size() const { return nbits_; }
+
+  void Resize(std::size_t nbits) {
+    nbits_ = nbits;
+    words_.assign((nbits + 63) / 64, 0);
+  }
+
+  bool Test(std::size_t i) const {
+    return (words_[i / 64] >> (i % 64)) & 1ULL;
+  }
+  void Set(std::size_t i) { words_[i / 64] |= (1ULL << (i % 64)); }
+  void Clear(std::size_t i) { words_[i / 64] &= ~(1ULL << (i % 64)); }
+  void Assign(std::size_t i, bool v) {
+    if (v) Set(i); else Clear(i);
+  }
+
+  std::size_t Count() const {
+    std::size_t n = 0;
+    for (auto w : words_) n += static_cast<std::size_t>(std::popcount(w));
+    return n;
+  }
+
+  bool Any() const {
+    for (auto w : words_)
+      if (w != 0) return true;
+    return false;
+  }
+  bool None() const { return !Any(); }
+
+  // True iff this bitmap and `other` share any set bit.
+  bool Intersects(const Bitmap& other) const {
+    std::size_t n = std::min(words_.size(), other.words_.size());
+    for (std::size_t i = 0; i < n; ++i)
+      if (words_[i] & other.words_[i]) return true;
+    return false;
+  }
+
+  // True iff every set bit of `other` is also set here.
+  bool Covers(const Bitmap& other) const {
+    for (std::size_t i = 0; i < other.words_.size(); ++i) {
+      std::uint64_t w = other.words_[i];
+      std::uint64_t mine = i < words_.size() ? words_[i] : 0;
+      if ((w & mine) != w) return false;
+    }
+    return true;
+  }
+
+  // Index of the first set bit, or size() if none.
+  std::size_t FindFirst() const {
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      if (words_[i] != 0) {
+        return i * 64 + static_cast<std::size_t>(std::countr_zero(words_[i]));
+      }
+    }
+    return nbits_;
+  }
+
+  friend bool operator==(const Bitmap& a, const Bitmap& b) {
+    return a.nbits_ == b.nbits_ && a.words_ == b.words_;
+  }
+
+  std::string ToString() const {
+    std::string s;
+    s.reserve(nbits_);
+    for (std::size_t i = 0; i < nbits_; ++i) s.push_back(Test(i) ? '1' : '0');
+    return s;
+  }
+
+ private:
+  std::size_t nbits_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace legion

@@ -1,0 +1,111 @@
+// Legion Object Identifiers (LOIDs).
+//
+// Every Legion object -- class objects, hosts, vaults, user objects, and
+// service objects -- is named by a location-independent LOID.  The real
+// Legion system used variable-length binary identifiers; for the simulation
+// we use a compact structured form that still captures what the RMI needs:
+// the naming *space* (what kind of core object this is), the administrative
+// *domain* that minted the identifier, and a serial number unique within
+// (space, domain).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+namespace legion {
+
+// The naming space a LOID belongs to.  Mirrors the core-object taxonomy of
+// figure 1 in the paper: class objects, Host objects, Vault objects, plain
+// object instances, and service objects (Collections, Enactors, Schedulers,
+// Monitors, daemons).
+enum class LoidSpace : std::uint8_t {
+  kInvalid = 0,
+  kClass = 1,
+  kHost = 2,
+  kVault = 3,
+  kObject = 4,
+  kService = 5,
+};
+
+// Returns a short human-readable tag ("class", "host", ...) for a space.
+const char* ToString(LoidSpace space);
+
+// A Legion Object Identifier.  Value type; totally ordered and hashable so
+// it can key maps in Collections, reservation tables, and schedules.
+class Loid {
+ public:
+  constexpr Loid() = default;
+  constexpr Loid(LoidSpace space, std::uint32_t domain, std::uint64_t serial)
+      : space_(space), domain_(domain), serial_(serial) {}
+
+  constexpr LoidSpace space() const { return space_; }
+  constexpr std::uint32_t domain() const { return domain_; }
+  constexpr std::uint64_t serial() const { return serial_; }
+
+  constexpr bool valid() const { return space_ != LoidSpace::kInvalid; }
+
+  // Dense 128-bit-ish packing used for hashing and serialization.
+  constexpr std::uint64_t pack_hi() const {
+    return (static_cast<std::uint64_t>(space_) << 32) | domain_;
+  }
+  constexpr std::uint64_t pack_lo() const { return serial_; }
+
+  // Renders e.g. "host:3/17" (space:domain/serial).
+  std::string ToString() const;
+
+  friend constexpr bool operator==(const Loid& a, const Loid& b) {
+    return a.space_ == b.space_ && a.domain_ == b.domain_ &&
+           a.serial_ == b.serial_;
+  }
+  friend constexpr bool operator!=(const Loid& a, const Loid& b) {
+    return !(a == b);
+  }
+  friend constexpr bool operator<(const Loid& a, const Loid& b) {
+    if (a.space_ != b.space_) return a.space_ < b.space_;
+    if (a.domain_ != b.domain_) return a.domain_ < b.domain_;
+    return a.serial_ < b.serial_;
+  }
+
+ private:
+  LoidSpace space_ = LoidSpace::kInvalid;
+  std::uint32_t domain_ = 0;
+  std::uint64_t serial_ = 0;
+};
+
+std::ostream& operator<<(std::ostream& os, const Loid& loid);
+
+// Parses the ToString() form ("host:3/17"); empty optional on bad input.
+std::optional<Loid> ParseLoid(const std::string& text);
+
+// Mints LOIDs with unique serials per (space, domain).  One LoidMinter is
+// owned by the simulation kernel; objects request fresh names through it.
+class LoidMinter {
+ public:
+  Loid Mint(LoidSpace space, std::uint32_t domain) {
+    return Loid(space, domain, next_serial_++);
+  }
+
+ private:
+  std::uint64_t next_serial_ = 1;
+};
+
+}  // namespace legion
+
+namespace std {
+template <>
+struct hash<legion::Loid> {
+  size_t operator()(const legion::Loid& l) const noexcept {
+    // 64-bit mix of the packed halves (splitmix64 finalizer).
+    std::uint64_t x = l.pack_hi() * 0x9e3779b97f4a7c15ULL ^ l.pack_lo();
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return static_cast<size_t>(x);
+  }
+};
+}  // namespace std

@@ -1,0 +1,123 @@
+// Lightweight Status / Result<T> error handling (no exceptions across
+// component boundaries; the simulated "RPC" layer reports failures as
+// values, matching the paper's success/failure result codes).
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace legion {
+
+// Error categories for resource-management operations.  These mirror the
+// failure modes the paper calls out: inability to obtain resources,
+// malformed schedules, authorization refusals by autonomous guardians,
+// timeouts in wide-area communication, and plain internal errors.
+enum class ErrorCode {
+  kOk = 0,
+  kNoResources,       // reservation refused: insufficient capacity
+  kMalformedSchedule, // schedule structurally invalid
+  kRefused,           // local autonomy policy refused the request
+  kInvalidToken,      // reservation token failed verification
+  kExpired,           // reservation timed out or outside its window
+  kNotFound,          // unknown LOID / record / attribute
+  kTimeout,           // message or RPC timed out
+  kUnavailable,       // object inactive, host down, or partitioned
+  kAlreadyExists,
+  kInvalidArgument,
+  kInternal,
+};
+
+const char* ToString(ErrorCode code);
+
+// A status: OK or (code, message).
+class Status {
+ public:
+  Status() = default;
+  Status(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status Error(ErrorCode code, std::string message = {}) {
+    return Status(code, std::move(message));
+  }
+
+  bool ok() const { return code_ == ErrorCode::kOk; }
+  ErrorCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const {
+    if (ok()) return "OK";
+    std::string s = legion::ToString(code_);
+    if (!message_.empty()) {
+      s += ": ";
+      s += message_;
+    }
+    return s;
+  }
+
+ private:
+  ErrorCode code_ = ErrorCode::kOk;
+  std::string message_;
+};
+
+inline const char* ToString(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk: return "OK";
+    case ErrorCode::kNoResources: return "NO_RESOURCES";
+    case ErrorCode::kMalformedSchedule: return "MALFORMED_SCHEDULE";
+    case ErrorCode::kRefused: return "REFUSED";
+    case ErrorCode::kInvalidToken: return "INVALID_TOKEN";
+    case ErrorCode::kExpired: return "EXPIRED";
+    case ErrorCode::kNotFound: return "NOT_FOUND";
+    case ErrorCode::kTimeout: return "TIMEOUT";
+    case ErrorCode::kUnavailable: return "UNAVAILABLE";
+    case ErrorCode::kAlreadyExists: return "ALREADY_EXISTS";
+    case ErrorCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case ErrorCode::kInternal: return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+// Result<T>: either a value or an error status.  Minimal std::expected
+// stand-in (C++20 toolchain).
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result(Status) requires an error status");
+  }
+  Result(ErrorCode code, std::string message)
+      : status_(code, std::move(message)) {}
+
+  bool ok() const { return value_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  const Status& status() const { return status_; }
+  ErrorCode code() const {
+    return ok() ? ErrorCode::kOk : status_.code();
+  }
+
+  T& value() {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const {
+    assert(ok());
+    return *value_;
+  }
+  T& operator*() { return value(); }
+  const T& operator*() const { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  T value_or(T fallback) const { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace legion

@@ -1,0 +1,95 @@
+// Simulated time.  The discrete-event kernel advances a virtual clock in
+// microsecond ticks; all latencies, reservation windows, trigger periods,
+// and queue wait times are expressed in these units.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace legion {
+
+// A duration in simulated microseconds.
+class Duration {
+ public:
+  constexpr Duration() = default;
+  constexpr explicit Duration(std::int64_t micros) : micros_(micros) {}
+
+  static constexpr Duration Micros(std::int64_t n) { return Duration(n); }
+  static constexpr Duration Millis(std::int64_t n) { return Duration(n * 1000); }
+  static constexpr Duration Seconds(double s) {
+    return Duration(static_cast<std::int64_t>(s * 1e6));
+  }
+  static constexpr Duration Minutes(double m) { return Seconds(m * 60.0); }
+  static constexpr Duration Hours(double h) { return Seconds(h * 3600.0); }
+  static constexpr Duration Zero() { return Duration(0); }
+  static constexpr Duration Infinite() { return Duration(INT64_MAX / 4); }
+
+  constexpr std::int64_t micros() const { return micros_; }
+  constexpr double seconds() const { return static_cast<double>(micros_) / 1e6; }
+  constexpr double millis() const { return static_cast<double>(micros_) / 1e3; }
+
+  constexpr bool is_zero() const { return micros_ == 0; }
+
+  friend constexpr Duration operator+(Duration a, Duration b) {
+    return Duration(a.micros_ + b.micros_);
+  }
+  friend constexpr Duration operator-(Duration a, Duration b) {
+    return Duration(a.micros_ - b.micros_);
+  }
+  friend constexpr Duration operator*(Duration a, double k) {
+    return Duration(static_cast<std::int64_t>(static_cast<double>(a.micros_) * k));
+  }
+  friend constexpr Duration operator*(double k, Duration a) { return a * k; }
+  friend constexpr Duration operator/(Duration a, double k) {
+    return Duration(static_cast<std::int64_t>(static_cast<double>(a.micros_) / k));
+  }
+  constexpr Duration& operator+=(Duration b) {
+    micros_ += b.micros_;
+    return *this;
+  }
+  friend constexpr auto operator<=>(Duration a, Duration b) = default;
+
+  std::string ToString() const;
+
+ private:
+  std::int64_t micros_ = 0;
+};
+
+// An absolute point on the simulated clock.
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+  constexpr explicit SimTime(std::int64_t micros) : micros_(micros) {}
+
+  static constexpr SimTime Zero() { return SimTime(0); }
+  static constexpr SimTime Max() { return SimTime(INT64_MAX / 2); }
+
+  constexpr std::int64_t micros() const { return micros_; }
+  constexpr double seconds() const { return static_cast<double>(micros_) / 1e6; }
+
+  friend constexpr SimTime operator+(SimTime t, Duration d) {
+    return SimTime(t.micros_ + d.micros());
+  }
+  friend constexpr SimTime operator-(SimTime t, Duration d) {
+    return SimTime(t.micros_ - d.micros());
+  }
+  friend constexpr Duration operator-(SimTime a, SimTime b) {
+    return Duration(a.micros_ - b.micros_);
+  }
+  friend constexpr auto operator<=>(SimTime a, SimTime b) = default;
+
+  std::string ToString() const;
+
+ private:
+  std::int64_t micros_ = 0;
+};
+
+inline std::string Duration::ToString() const {
+  return std::to_string(micros_) + "us";
+}
+
+inline std::string SimTime::ToString() const {
+  return "t=" + std::to_string(micros_) + "us";
+}
+
+}  // namespace legion

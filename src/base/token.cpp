@@ -1,0 +1,79 @@
+#include "base/token.h"
+
+#include <sstream>
+
+namespace legion {
+namespace {
+
+// Keyed FNV-1a-style 64-bit mix, strengthened with a final avalanche.
+std::uint64_t MixInto(std::uint64_t h, std::uint64_t v) {
+  h ^= v;
+  h *= 0x100000001b3ULL;
+  h ^= h >> 29;
+  return h;
+}
+
+std::uint64_t Finalize(std::uint64_t h) {
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ULL;
+  h ^= h >> 33;
+  return h;
+}
+
+}  // namespace
+
+std::string ReservationType::ToString() const {
+  if (!share && !reuse) return "one-shot space sharing";
+  if (!share && reuse) return "reusable space sharing";
+  if (share && !reuse) return "one-shot timesharing";
+  return "reusable timesharing";
+}
+
+std::string ReservationToken::ToString() const {
+  std::ostringstream os;
+  os << "token{#" << serial << " host=" << host.ToString()
+     << " vault=" << vault.ToString() << " start=" << start.micros()
+     << " dur=" << duration.micros() << " type=" << type.ToString() << '}';
+  return os.str();
+}
+
+TokenAuthority::TokenAuthority(std::uint64_t secret_seed)
+    : secret_(Finalize(secret_seed ^ 0xa0761d6478bd642fULL)) {}
+
+std::uint64_t TokenAuthority::Mac(const ReservationToken& token) const {
+  std::uint64_t h = secret_;
+  h = MixInto(h, token.host.pack_hi());
+  h = MixInto(h, token.host.pack_lo());
+  h = MixInto(h, token.vault.pack_hi());
+  h = MixInto(h, token.vault.pack_lo());
+  h = MixInto(h, token.serial);
+  h = MixInto(h, static_cast<std::uint64_t>(token.start.micros()));
+  h = MixInto(h, static_cast<std::uint64_t>(token.duration.micros()));
+  h = MixInto(h, static_cast<std::uint64_t>(token.confirm_timeout.micros()));
+  h = MixInto(h, token.type.bits());
+  return Finalize(h);
+}
+
+ReservationToken TokenAuthority::Issue(const Loid& host, const Loid& vault,
+                                       SimTime start, Duration duration,
+                                       Duration confirm_timeout,
+                                       ReservationType type) {
+  ReservationToken token;
+  token.host = host;
+  token.vault = vault;
+  token.serial = next_serial_++;
+  token.start = start;
+  token.duration = duration;
+  token.confirm_timeout = confirm_timeout;
+  token.type = type;
+  token.mac = Mac(token);
+  return token;
+}
+
+bool TokenAuthority::Verify(const ReservationToken& token) const {
+  return token.valid() && token.mac == Mac(token);
+}
+
+}  // namespace legion

@@ -1,0 +1,87 @@
+// Non-forgeable reservation tokens (paper section 3.1).
+//
+// Hosts grant reservations for future service as opaque tokens.  The only
+// requirements the paper places on them are (a) they are non-forgeable and
+// (b) the issuing Host recognizes them when presented with a service
+// request; no other object needs to decode them.  Following the Legion 1.5
+// implementation, our tokens also encode both the Host and the Vault to be
+// used for execution.
+//
+// Non-forgeability is provided by a keyed 64-bit MAC over the token fields
+// computed with the issuing host's secret.  This is adequate for a
+// simulation (see DESIGN.md deviations); a deployment would use HMAC-SHA2.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "base/loid.h"
+#include "base/sim_time.h"
+
+namespace legion {
+
+// The two reservation type bits (paper table 2).
+//   reuse: the token may be presented to multiple StartObject() calls.
+//   share: the resource may be multiplexed; unshared allocates it whole.
+struct ReservationType {
+  bool share = true;
+  bool reuse = false;
+
+  // The paper's four named combinations.
+  static constexpr ReservationType OneShotSpaceSharing() { return {false, false}; }
+  static constexpr ReservationType ReusableSpaceSharing() { return {false, true}; }
+  static constexpr ReservationType OneShotTimesharing() { return {true, false}; }
+  static constexpr ReservationType ReusableTimesharing() { return {true, true}; }
+
+  std::uint8_t bits() const {
+    return static_cast<std::uint8_t>((share ? 1 : 0) | (reuse ? 2 : 0));
+  }
+  friend bool operator==(ReservationType a, ReservationType b) {
+    return a.share == b.share && a.reuse == b.reuse;
+  }
+  std::string ToString() const;
+};
+
+// An opaque reservation token.  Carries the (host, vault) execution pair,
+// the reservation window, the type bits, a serial number unique at the
+// issuing host, and the MAC.
+struct ReservationToken {
+  Loid host;
+  Loid vault;
+  std::uint64_t serial = 0;
+  SimTime start;
+  Duration duration;
+  Duration confirm_timeout;  // zero means no timeout
+  ReservationType type;
+  std::uint64_t mac = 0;
+
+  bool valid() const { return host.valid() && serial != 0; }
+  std::string ToString() const;
+
+  friend bool operator==(const ReservationToken& a, const ReservationToken& b) {
+    return a.host == b.host && a.serial == b.serial && a.mac == b.mac;
+  }
+};
+
+// Mints and verifies tokens for one issuing host.  The secret never leaves
+// the authority, so another object cannot construct a token that verifies.
+class TokenAuthority {
+ public:
+  explicit TokenAuthority(std::uint64_t secret_seed);
+
+  // Fills in serial and mac on the token.
+  ReservationToken Issue(const Loid& host, const Loid& vault, SimTime start,
+                         Duration duration, Duration confirm_timeout,
+                         ReservationType type);
+
+  // True iff the token was issued by this authority and is unmodified.
+  bool Verify(const ReservationToken& token) const;
+
+ private:
+  std::uint64_t Mac(const ReservationToken& token) const;
+
+  std::uint64_t secret_;
+  std::uint64_t next_serial_ = 1;
+};
+
+}  // namespace legion

@@ -1,0 +1,248 @@
+#include "core/collection.h"
+
+#include <algorithm>
+#include <thread>
+
+namespace legion {
+
+namespace {
+// Well-known serial for the Collection service class.
+constexpr std::uint64_t kCollectionClassSerial = 4;
+}  // namespace
+
+CollectionObject::CollectionObject(SimKernel* kernel, Loid loid,
+                                   CollectionOptions options)
+    : LegionObject(kernel, loid,
+                   Loid(LoidSpace::kClass, loid.domain(),
+                        kCollectionClassSerial)),
+      options_(options) {
+  kernel->network().RegisterEndpoint(loid, loid.domain());
+  (void)Activate(loid, Loid());
+  mutable_attributes().Set("service", "collection");
+}
+
+bool CollectionObject::Authorized(const Loid& caller,
+                                  const Loid& member) const {
+  if (!options_.authenticate) return true;
+  if (caller == member) return true;  // a resource may describe itself
+  return trusted_.count(caller) != 0;
+}
+
+void CollectionObject::Upsert(const Loid& member,
+                              const AttributeDatabase& attributes) {
+  std::unique_lock lock(store_mutex_);
+  CollectionRecord& record = records_[member];
+  record.member = member;
+  record.attributes = attributes;
+  // Every record self-identifies so injected functions can key external
+  // state (e.g. load history) by member.
+  record.attributes.Set("member", member.ToString());
+  record.updated_at = kernel()->Now();
+  ++record.update_count;
+  updates_applied_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void CollectionObject::JoinCollection(const Loid& joiner, Callback<bool> done) {
+  // Join without an installment of initial description: an empty record
+  // that a later update or pull will fill.
+  Upsert(joiner, AttributeDatabase{});
+  done(true);
+}
+
+void CollectionObject::JoinCollection(const Loid& joiner,
+                                      const AttributeDatabase& attributes,
+                                      Callback<bool> done) {
+  Upsert(joiner, attributes);
+  done(true);
+}
+
+void CollectionObject::LeaveCollection(const Loid& leaver,
+                                       Callback<bool> done) {
+  std::unique_lock lock(store_mutex_);
+  done(records_.erase(leaver) != 0);
+}
+
+void CollectionObject::UpdateCollectionEntry(const Loid& member,
+                                             const AttributeDatabase& attributes,
+                                             Callback<bool> done) {
+  // The CollectionSink path is the member describing itself.
+  UpdateEntryAs(member, member, attributes, std::move(done));
+}
+
+void CollectionObject::UpdateEntryAs(const Loid& caller, const Loid& member,
+                                     const AttributeDatabase& attributes,
+                                     Callback<bool> done) {
+  if (!Authorized(caller, member)) {
+    updates_rejected_.fetch_add(1, std::memory_order_relaxed);
+    done(Status::Error(ErrorCode::kRefused,
+                       caller.ToString() + " may not update " +
+                           member.ToString()));
+    return;
+  }
+  Upsert(member, attributes);
+  done(true);
+}
+
+void CollectionObject::QueryCollection(const std::string& query_text,
+                                       Callback<CollectionData> done) {
+  auto result = QueryLocal(query_text);
+  if (!result) {
+    done(result.status());
+    return;
+  }
+  done(std::move(*result));
+}
+
+Result<CollectionData> CollectionObject::QueryLocal(
+    const std::string& query_text) const {
+  auto compiled = query::CompiledQuery::Compile(query_text);
+  if (!compiled) return compiled.status();
+  return QueryLocal(*compiled);
+}
+
+void CollectionObject::MaterializeDerived(CollectionRecord& record) const {
+  functions_.ForEach([&record](const std::string& name,
+                               const query::FunctionRegistry::Fn& fn) {
+    record.attributes.Set(name, fn(record.attributes, {}));
+  });
+}
+
+Result<CollectionData> CollectionObject::QueryLocal(
+    const query::CompiledQuery& query) const {
+  queries_served_.fetch_add(1, std::memory_order_relaxed);
+  CollectionData matches;
+  std::shared_lock lock(store_mutex_);
+  for (const auto& [member, record] : records_) {
+    if (query.Matches(record.attributes, &functions_)) {
+      matches.push_back(record);
+      MaterializeDerived(matches.back());
+    }
+  }
+  // Deterministic output order regardless of hash-map iteration.
+  std::sort(matches.begin(), matches.end(),
+            [](const CollectionRecord& a, const CollectionRecord& b) {
+              return a.member < b.member;
+            });
+  return matches;
+}
+
+Result<CollectionData> CollectionObject::QueryLocalParallel(
+    const query::CompiledQuery& query, unsigned threads) const {
+  queries_served_.fetch_add(1, std::memory_order_relaxed);
+  if (threads == 0) threads = options_.query_threads;
+  if (threads == 0) threads = std::thread::hardware_concurrency();
+  if (threads == 0) threads = 1;
+
+  // Readers don't block readers: hold the shared lock for the whole
+  // evaluation so writers stay out while workers scan the records.
+  std::shared_lock lock(store_mutex_);
+  std::vector<const CollectionRecord*> snapshot;
+  snapshot.reserve(records_.size());
+  for (const auto& [member, record] : records_) snapshot.push_back(&record);
+
+  if (snapshot.size() < 2 * threads) {
+    // Not worth fanning out.
+    CollectionData matches;
+    for (const auto* record : snapshot) {
+      if (query.Matches(record->attributes, &functions_)) {
+        matches.push_back(*record);
+        MaterializeDerived(matches.back());
+      }
+    }
+    std::sort(matches.begin(), matches.end(),
+              [](const CollectionRecord& a, const CollectionRecord& b) {
+                return a.member < b.member;
+              });
+    return matches;
+  }
+
+  std::vector<CollectionData> partials(threads);
+  {
+    std::vector<std::jthread> workers;
+    workers.reserve(threads);
+    const std::size_t chunk = (snapshot.size() + threads - 1) / threads;
+    for (unsigned t = 0; t < threads; ++t) {
+      const std::size_t begin = std::min(snapshot.size(), t * chunk);
+      const std::size_t end = std::min(snapshot.size(), begin + chunk);
+      workers.emplace_back([&, begin, end, t] {
+        for (std::size_t i = begin; i < end; ++i) {
+          if (query.Matches(snapshot[i]->attributes, &functions_)) {
+            partials[t].push_back(*snapshot[i]);
+            MaterializeDerived(partials[t].back());
+          }
+        }
+      });
+    }
+  }  // jthreads join here
+
+  CollectionData matches;
+  for (auto& partial : partials) {
+    matches.insert(matches.end(), std::make_move_iterator(partial.begin()),
+                   std::make_move_iterator(partial.end()));
+  }
+  std::sort(matches.begin(), matches.end(),
+            [](const CollectionRecord& a, const CollectionRecord& b) {
+              return a.member < b.member;
+            });
+  return matches;
+}
+
+void CollectionObject::PullFrom(const std::vector<Loid>& members,
+                                Callback<std::size_t> done) {
+  if (members.empty()) {
+    done(static_cast<std::size_t>(0));
+    return;
+  }
+  // One RPC per member; count successful refreshes.
+  struct PullState {
+    std::size_t outstanding;
+    std::size_t refreshed = 0;
+    Callback<std::size_t> done;
+  };
+  auto state = std::make_shared<PullState>();
+  state->outstanding = members.size();
+  state->done = std::move(done);
+  for (const Loid& member : members) {
+    kernel()->AsyncCall<AttributeDatabase>(
+        loid(), member, kSmallMessage, kMediumMessage, kDefaultRpcTimeout,
+        [kernel = kernel(), member](Callback<AttributeDatabase> reply) {
+          auto* object =
+              dynamic_cast<LegionObject*>(kernel->FindActor(member));
+          if (object == nullptr) {
+            reply(Status::Error(ErrorCode::kUnavailable,
+                                "no such resource: " + member.ToString()));
+            return;
+          }
+          reply(object->attributes());
+        },
+        [this, member, state](Result<AttributeDatabase> attrs) {
+          if (attrs.ok()) {
+            Upsert(member, *attrs);
+            ++state->refreshed;
+          }
+          if (--state->outstanding == 0) state->done(state->refreshed);
+        });
+  }
+}
+
+void CollectionObject::AddTrustedUpdater(const Loid& agent) {
+  trusted_.insert(agent);
+}
+
+std::size_t CollectionObject::record_count() const {
+  std::shared_lock lock(store_mutex_);
+  return records_.size();
+}
+
+Duration CollectionObject::MeanRecordAge() const {
+  std::shared_lock lock(store_mutex_);
+  if (records_.empty()) return Duration::Zero();
+  std::int64_t total = 0;
+  const SimTime now = kernel()->Now();
+  for (const auto& [member, record] : records_) {
+    total += (now - record.updated_at).micros();
+  }
+  return Duration(total / static_cast<std::int64_t>(records_.size()));
+}
+
+}  // namespace legion

@@ -1,0 +1,130 @@
+// The Collection (paper section 3.2, figure 4).
+//
+// "The Collection acts as a repository for information describing the
+// state of the resources comprising the system.  Each record is stored as
+// a set of Legion object attributes. ... Collections provide methods to
+// join (with an optional installment of initial descriptive information)
+// and update records, thus facilitating a push model for data.  The
+// security facilities of Legion authenticate the caller to be sure that
+// it is allowed to update the data in the Collection.  As noted earlier,
+// Collections may also pull data from resources.  Users, or their agents,
+// obtain information about resources by issuing queries to a Collection."
+//
+// Implemented faithfully to the figure-4 interface, plus the paper's
+// planned extension: *function injection* -- users install code that
+// computes new description information at query time (exposed through the
+// query language's call syntax and the FunctionRegistry).
+//
+// The record store is internally synchronized (a shared_mutex guarding
+// the map, per the mutex-with-its-data rule), because the parallel query
+// path evaluates a compiled query across worker threads.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "objects/interfaces.h"
+#include "objects/legion_object.h"
+#include "query/query.h"
+
+namespace legion {
+
+// One resource-description record.
+struct CollectionRecord {
+  Loid member;
+  AttributeDatabase attributes;
+  SimTime updated_at;
+  std::uint64_t update_count = 0;
+};
+
+using CollectionData = std::vector<CollectionRecord>;
+
+struct CollectionOptions {
+  // Require updaters to be the member itself or a registered trusted
+  // agent (the Legion authentication step).
+  bool authenticate = true;
+  // Default worker count for QueryAllParallel (0 = hardware concurrency).
+  unsigned query_threads = 0;
+};
+
+class CollectionObject : public LegionObject, public CollectionSink {
+ public:
+  CollectionObject(SimKernel* kernel, Loid loid, CollectionOptions options = {});
+
+  std::string DebugName() const override { return "collection"; }
+
+  // ---- Figure 4 interface -------------------------------------------------
+  // int JoinCollection(LOID joiner);
+  void JoinCollection(const Loid& joiner, Callback<bool> done);
+  // int JoinCollection(LOID joiner, LinkedList<Uval> ObjAttribute);
+  void JoinCollection(const Loid& joiner, const AttributeDatabase& attributes,
+                      Callback<bool> done) override;
+  // int LeaveCollection(LegionLOID leaver);
+  void LeaveCollection(const Loid& leaver, Callback<bool> done) override;
+  // int QueryCollection(String Query, &CollectionData result);
+  void QueryCollection(const std::string& query_text,
+                       Callback<CollectionData> done);
+  // int UpdateCollectionEntry(LOID member, LinkedList<Uval> ObjAttribute);
+  void UpdateCollectionEntry(const Loid& member,
+                             const AttributeDatabase& attributes,
+                             Callback<bool> done) override;
+
+  // Authenticated third-party update (the Data Collection Daemon path).
+  void UpdateEntryAs(const Loid& caller, const Loid& member,
+                     const AttributeDatabase& attributes, Callback<bool> done);
+
+  // ---- Pull model -----------------------------------------------------------
+  // Pulls fresh attributes from the given members (each pull is a
+  // message-counted RPC to the resource) and updates their records.
+  void PullFrom(const std::vector<Loid>& members, Callback<std::size_t> done);
+
+  // ---- Local (in-process) query paths ---------------------------------------
+  // Synchronous evaluation against the current store.
+  Result<CollectionData> QueryLocal(const std::string& query_text) const;
+  Result<CollectionData> QueryLocal(const query::CompiledQuery& query) const;
+  // Shards the record set across worker threads; profitable for large
+  // collections (see bench_collection).
+  Result<CollectionData> QueryLocalParallel(const query::CompiledQuery& query,
+                                            unsigned threads = 0) const;
+
+  // ---- Administration ---------------------------------------------------------
+  void AddTrustedUpdater(const Loid& agent);
+  query::FunctionRegistry& functions() { return functions_; }
+  const query::FunctionRegistry& functions() const { return functions_; }
+
+  std::size_t record_count() const;
+  // Mean age (now - updated_at) across records; the staleness metric.
+  Duration MeanRecordAge() const;
+
+  std::uint64_t queries_served() const { return queries_served_.load(); }
+  std::uint64_t updates_applied() const { return updates_applied_.load(); }
+  std::uint64_t updates_rejected() const { return updates_rejected_.load(); }
+
+ private:
+  bool Authorized(const Loid& caller, const Loid& member) const;
+  void Upsert(const Loid& member, const AttributeDatabase& attributes);
+  // Function injection materialization: every registered zero-argument
+  // function is evaluated against the record and "integrated with the
+  // already existing description information" (paper 3.2) as a derived
+  // attribute named after the function.
+  void MaterializeDerived(CollectionRecord& record) const;
+  // Snapshot for query evaluation (records copied under shared lock).
+  std::vector<const CollectionRecord*> Snapshot() const;
+
+  CollectionOptions options_;
+  mutable std::shared_mutex store_mutex_;  // guards records_
+  std::unordered_map<Loid, CollectionRecord> records_;
+  std::unordered_set<Loid> trusted_;
+  query::FunctionRegistry functions_;
+  mutable std::atomic<std::uint64_t> queries_served_{0};
+  std::atomic<std::uint64_t> updates_applied_{0};
+  std::atomic<std::uint64_t> updates_rejected_{0};
+};
+
+}  // namespace legion

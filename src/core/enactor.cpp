@@ -1,0 +1,339 @@
+#include "core/enactor.h"
+
+#include <algorithm>
+
+#include "objects/class_object.h"
+
+namespace legion {
+
+namespace {
+constexpr std::uint64_t kServiceClassSerial = 5;
+}  // namespace
+
+// The mutable state of one make_reservations() negotiation.  Kept alive
+// by shared_ptr across the asynchronous reservation rounds.
+struct EnactorObject::Negotiation {
+  ScheduleRequestList request;
+  Callback<ScheduleFeedback> done;
+
+  std::size_t master = 0;        // which master schedule we are trying
+  std::size_t next_variant = 0;  // next variant index to consider
+  std::vector<std::size_t> applied_variants;
+  std::vector<ObjectMapping> current;            // effective mappings
+  std::vector<std::optional<ReservationToken>> tokens;
+  // Mappings previously reserved-and-cancelled per index, for the thrash
+  // metric.
+  std::vector<std::vector<ObjectMapping>> cancelled_history;
+  std::size_t outstanding = 0;
+  ErrorCode last_code = ErrorCode::kNoResources;
+  std::string last_error;
+  bool finished = false;
+};
+
+EnactorObject::EnactorObject(SimKernel* kernel, Loid loid,
+                             EnactorOptions options)
+    : LegionObject(kernel, loid,
+                   Loid(LoidSpace::kClass, loid.domain(), kServiceClassSerial)),
+      options_(options) {
+  kernel->network().RegisterEndpoint(loid, loid.domain());
+  (void)Activate(loid, Loid());
+  mutable_attributes().Set("service", "enactor");
+}
+
+void EnactorObject::LookupDemand(const Loid& class_loid,
+                                 std::size_t* memory_mb,
+                                 double* cpu_fraction) const {
+  *memory_mb = 32;
+  *cpu_fraction = 1.0;
+  auto* klass =
+      dynamic_cast<ClassObject*>(kernel()->FindActor(class_loid));
+  if (klass != nullptr) {
+    *memory_mb = klass->instance_memory_mb();
+    *cpu_fraction = klass->instance_cpu_fraction();
+  }
+}
+
+void EnactorObject::MakeReservations(const ScheduleRequestList& request,
+                                     Callback<ScheduleFeedback> done) {
+  ++stats_.negotiations;
+  Status valid = request.Validate();
+  if (!valid.ok()) {
+    ScheduleFeedback feedback;
+    feedback.original = request;
+    feedback.success = false;
+    feedback.failure = ErrorCode::kMalformedSchedule;
+    feedback.failure_detail = valid.message();
+    done(std::move(feedback));
+    return;
+  }
+  auto n = std::make_shared<Negotiation>();
+  n->request = request;
+  n->done = std::move(done);
+  StartMaster(n);
+}
+
+void EnactorObject::StartMaster(const std::shared_ptr<Negotiation>& n) {
+  if (n->master >= n->request.masters.size()) {
+    Fail(n);
+    return;
+  }
+  const MasterSchedule& master = n->request.masters[n->master];
+  n->current = master.mappings;
+  n->tokens.assign(master.mappings.size(), std::nullopt);
+  n->cancelled_history.assign(master.mappings.size(), {});
+  n->applied_variants.clear();
+  n->next_variant = 0;
+  RequestMissing(n);
+}
+
+void EnactorObject::RequestMissing(const std::shared_ptr<Negotiation>& n) {
+  // Fire a reservation request for every index without a token.  The
+  // requests go out concurrently -- this is the co-allocation step: hosts
+  // in several administrative domains negotiate in parallel.
+  std::vector<std::size_t> missing;
+  for (std::size_t i = 0; i < n->tokens.size(); ++i) {
+    if (!n->tokens[i].has_value()) missing.push_back(i);
+  }
+  if (missing.empty()) {
+    Succeed(n);
+    return;
+  }
+  n->outstanding = missing.size();
+  for (std::size_t index : missing) ReserveIndex(n, index);
+}
+
+void EnactorObject::ReserveIndex(const std::shared_ptr<Negotiation>& n,
+                                 std::size_t index) {
+  const ObjectMapping& mapping = n->current[index];
+  // Thrash metric: are we remaking a reservation we held and cancelled?
+  const auto& history = n->cancelled_history[index];
+  if (std::find(history.begin(), history.end(), mapping) != history.end()) {
+    ++stats_.rereservations;
+  }
+  ++stats_.reservations_requested;
+
+  ReservationRequest request;
+  request.vault = mapping.vault;
+  request.start = kernel()->Now() + options_.reservation_start_offset;
+  request.duration = options_.reservation_duration;
+  request.confirm_timeout = options_.confirm_timeout;
+  request.type = options_.reservation_type;
+  request.requester = loid();
+  request.requester_domain = loid().domain();
+  LookupDemand(mapping.class_loid, &request.memory_mb, &request.cpu_fraction);
+
+  CallOn<ReservationToken, HostInterface>(
+      kernel(), loid(), mapping.host, kSmallMessage, kSmallMessage,
+      options_.rpc_timeout,
+      [request](HostInterface& host, Callback<ReservationToken> reply) {
+        host.MakeReservation(request, std::move(reply));
+      },
+      [this, n, index](Result<ReservationToken> result) {
+        if (n->finished) return;
+        if (result.ok()) {
+          ++stats_.reservations_granted;
+          n->tokens[index] = std::move(*result);
+        } else {
+          ++stats_.reservations_failed;
+          n->last_code = result.status().code();
+          n->last_error = result.status().message();
+        }
+        if (--n->outstanding == 0) OnRoundComplete(n);
+      });
+}
+
+void EnactorObject::CancelHeld(const std::shared_ptr<Negotiation>& n,
+                               std::size_t index) {
+  if (!n->tokens[index].has_value()) return;
+  const ReservationToken token = *n->tokens[index];
+  n->cancelled_history[index].push_back(n->current[index]);
+  n->tokens[index].reset();
+  ++stats_.reservations_cancelled;
+  CallOn<bool, HostInterface>(
+      kernel(), loid(), token.host, kSmallMessage, kSmallMessage,
+      options_.rpc_timeout,
+      [token](HostInterface& host, Callback<bool> reply) {
+        host.CancelReservation(token, std::move(reply));
+      },
+      [](Result<bool>) { /* best effort */ });
+}
+
+void EnactorObject::OnRoundComplete(const std::shared_ptr<Negotiation>& n) {
+  Bitmap failed(n->tokens.size());
+  for (std::size_t i = 0; i < n->tokens.size(); ++i) {
+    if (!n->tokens[i].has_value()) failed.Set(i);
+  }
+  if (failed.None()) {
+    Succeed(n);
+    return;
+  }
+
+  const MasterSchedule& master = n->request.masters[n->master];
+
+  if (options_.use_variant_bitmaps) {
+    // The paper's design: the bitmap lets the Enactor efficiently select
+    // the next variant(s) to try.  Greedily take variants, in order, that
+    // replace still-uncovered failed mappings until every failure has a
+    // new entry; reservations the variants do not touch are kept.
+    std::vector<std::size_t> chosen;
+    Bitmap uncovered = failed;
+    for (std::size_t v = n->next_variant;
+         v < master.variants.size() && uncovered.Any(); ++v) {
+      if (!master.variants[v].replaces.Intersects(uncovered)) continue;
+      chosen.push_back(v);
+      for (const auto& [index, mapping] : master.variants[v].mappings) {
+        if (index < uncovered.size()) uncovered.Clear(index);
+      }
+    }
+    if (uncovered.Any()) {
+      AbandonMaster(n);
+      return;
+    }
+    for (std::size_t v : chosen) {
+      n->applied_variants.push_back(v);
+      for (const auto& [index, mapping] : master.variants[v].mappings) {
+        // Cancel only the reservations the variant actually replaces.
+        CancelHeld(n, index);
+        n->current[index] = mapping;
+      }
+    }
+    n->next_variant = chosen.back() + 1;
+    RequestMissing(n);
+    return;
+  }
+
+  // Naive baseline: cancel everything, retry the next variant wholesale.
+  for (std::size_t i = 0; i < n->tokens.size(); ++i) CancelHeld(n, i);
+  if (n->next_variant >= master.variants.size()) {
+    AbandonMaster(n);
+    return;
+  }
+  const std::size_t v = n->next_variant++;
+  n->applied_variants.push_back(v);
+  n->current = master.WithVariant(v);
+  RequestMissing(n);
+}
+
+void EnactorObject::AbandonMaster(const std::shared_ptr<Negotiation>& n) {
+  for (std::size_t i = 0; i < n->tokens.size(); ++i) CancelHeld(n, i);
+  ++n->master;
+  StartMaster(n);
+}
+
+void EnactorObject::Succeed(const std::shared_ptr<Negotiation>& n) {
+  n->finished = true;
+  ScheduleFeedback feedback;
+  feedback.original = n->request;
+  feedback.success = true;
+  ScheduleChoice choice;
+  choice.master_index = n->master;
+  choice.variant_indices = n->applied_variants;
+  feedback.winner = choice;
+  feedback.reserved_mappings = n->current;
+  feedback.tokens.reserve(n->tokens.size());
+  for (const auto& token : n->tokens) feedback.tokens.push_back(*token);
+  n->done(std::move(feedback));
+}
+
+void EnactorObject::Fail(const std::shared_ptr<Negotiation>& n) {
+  n->finished = true;
+  ScheduleFeedback feedback;
+  feedback.original = n->request;
+  feedback.success = false;
+  feedback.failure = n->last_code;
+  feedback.failure_detail = n->last_error;
+  n->done(std::move(feedback));
+}
+
+void EnactorObject::CancelReservations(
+    const std::vector<ReservationToken>& tokens, Callback<std::size_t> done) {
+  if (tokens.empty()) {
+    done(static_cast<std::size_t>(0));
+    return;
+  }
+  struct CancelState {
+    std::size_t outstanding;
+    std::size_t cancelled = 0;
+    Callback<std::size_t> done;
+  };
+  auto state = std::make_shared<CancelState>();
+  state->outstanding = tokens.size();
+  state->done = std::move(done);
+  for (const ReservationToken& token : tokens) {
+    ++stats_.reservations_cancelled;
+    CallOn<bool, HostInterface>(
+        kernel(), loid(), token.host, kSmallMessage, kSmallMessage,
+        options_.rpc_timeout,
+        [token](HostInterface& host, Callback<bool> reply) {
+          host.CancelReservation(token, std::move(reply));
+        },
+        [state](Result<bool> r) {
+          if (r.ok() && *r) ++state->cancelled;
+          if (--state->outstanding == 0) state->done(state->cancelled);
+        });
+  }
+}
+
+void EnactorObject::CancelReservations(const ScheduleFeedback& feedback,
+                                       Callback<std::size_t> done) {
+  CancelReservations(feedback.tokens, std::move(done));
+}
+
+void EnactorObject::EnactSchedule(const ScheduleFeedback& feedback,
+                                  Callback<EnactResult> done) {
+  ++stats_.enactments;
+  if (!feedback.success ||
+      feedback.reserved_mappings.size() != feedback.tokens.size() ||
+      feedback.reserved_mappings.empty()) {
+    ++stats_.enact_failures;
+    EnactResult result;
+    result.success = false;
+    done(std::move(result));
+    return;
+  }
+  struct EnactState {
+    std::size_t outstanding;
+    std::vector<Result<Loid>> instances;
+    Callback<EnactResult> done;
+  };
+  auto state = std::make_shared<EnactState>(EnactState{
+      feedback.reserved_mappings.size(),
+      std::vector<Result<Loid>>(),
+      std::move(done)});
+  state->instances.reserve(feedback.reserved_mappings.size());
+  for (std::size_t i = 0; i < feedback.reserved_mappings.size(); ++i) {
+    state->instances.emplace_back(
+        Status::Error(ErrorCode::kInternal, "pending"));
+  }
+
+  for (std::size_t i = 0; i < feedback.reserved_mappings.size(); ++i) {
+    const ObjectMapping& mapping = feedback.reserved_mappings[i];
+    PlacementSuggestion suggestion;
+    suggestion.host = mapping.host;
+    suggestion.vault = mapping.vault;
+    suggestion.token = feedback.tokens[i];
+    suggestion.implementation = mapping.implementation;
+    // Steps 7-9: the Enactor attempts to instantiate the objects through
+    // member function calls on the appropriate class objects.
+    CallOn<Loid, ClassInterface>(
+        kernel(), loid(), mapping.class_loid, kSmallMessage, kSmallMessage,
+        options_.rpc_timeout,
+        [suggestion](ClassInterface& klass, Callback<Loid> reply) {
+          klass.CreateInstance(suggestion, std::move(reply));
+        },
+        [this, state, i](Result<Loid> instance) {
+          state->instances[i] = std::move(instance);
+          if (--state->outstanding == 0) {
+            EnactResult result;
+            result.success =
+                std::all_of(state->instances.begin(), state->instances.end(),
+                            [](const Result<Loid>& r) { return r.ok(); });
+            if (!result.success) ++stats_.enact_failures;
+            result.instances = std::move(state->instances);
+            state->done(std::move(result));
+          }
+        });
+  }
+}
+
+}  // namespace legion

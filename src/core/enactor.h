@@ -1,0 +1,113 @@
+// The Enactor (paper section 3.4, figure 6).
+//
+// "A Scheduler first passes in the entire set of schedules to the
+// make_reservations() call, and waits for feedback. ... If any schedule
+// succeeded, the Scheduler can then use the enact_schedule() call to
+// request that the Enactor instantiate objects on the reserved resources,
+// or the cancel_reservations() method to release the resources."
+//
+// Variant handling: "If all mappings in the master schedule succeed, then
+// scheduling is complete.  If not, then a variant schedule is selected
+// that contains a new entry for the failed mapping. ... Implementing the
+// variant schedule entails making new reservations for items in the
+// variant schedule and canceling any corresponding reservations from the
+// master schedule.  Our default Schedulers and Enactor work together to
+// structure the variant schedules so as to avoid reservation thrashing
+// (the canceling and subsequent remaking of the same reservation).  Our
+// data structure includes a bitmap field (one bit per object mapping) for
+// each variant schedule which allows the Enactor to efficiently select
+// the next variant schedule to try."
+//
+// The Enactor is also the co-allocator: reservation requests for one
+// schedule go out to all named hosts -- possibly in several
+// administrative domains -- concurrently, and the schedule commits only
+// if every mapping holds a token.
+//
+// For experiment E2 the bitmap-guided path can be disabled
+// (use_variant_bitmaps = false): the Enactor then cancels *all* held
+// reservations on any failure and retries the next variant from scratch,
+// which exhibits exactly the thrashing the paper's design avoids.
+#pragma once
+
+#include <memory>
+#include <set>
+
+#include "core/schedule.h"
+#include "objects/interfaces.h"
+#include "objects/legion_object.h"
+
+namespace legion {
+
+struct EnactorOptions {
+  // Window parameters for the reservations the Enactor requests.
+  Duration reservation_start_offset = Duration::Zero();  // 0 = instantaneous
+  Duration reservation_duration = Duration::Hours(1);
+  Duration confirm_timeout = Duration::Minutes(5);
+  ReservationType reservation_type = ReservationType::OneShotTimesharing();
+  Duration rpc_timeout = kDefaultRpcTimeout;
+  // Bitmap-guided variant selection (the paper's design).  When false,
+  // any failure cancels every held reservation and the next variant is
+  // tried as a whole schedule (naive baseline).
+  bool use_variant_bitmaps = true;
+};
+
+struct EnactorStats {
+  std::uint64_t negotiations = 0;
+  std::uint64_t reservations_requested = 0;
+  std::uint64_t reservations_granted = 0;
+  std::uint64_t reservations_failed = 0;
+  std::uint64_t reservations_cancelled = 0;
+  // Thrash metric: a reservation requested for an (index, mapping) pair
+  // that was already granted and then cancelled within the same
+  // negotiation -- the "canceling and subsequent remaking of the same
+  // reservation" the paper's bitmap design avoids.
+  std::uint64_t rereservations = 0;
+  std::uint64_t enactments = 0;
+  std::uint64_t enact_failures = 0;
+};
+
+class EnactorObject : public LegionObject {
+ public:
+  EnactorObject(SimKernel* kernel, Loid loid, EnactorOptions options = {});
+
+  std::string DebugName() const override { return "enactor"; }
+
+  // ---- Figure 6 interface ---------------------------------------------------
+  // &LegionScheduleFeedback make_reservations(&LegionScheduleList);
+  void MakeReservations(const ScheduleRequestList& request,
+                        Callback<ScheduleFeedback> done);
+  // int cancel_reservations(&LegionScheduleRequestList);
+  void CancelReservations(const std::vector<ReservationToken>& tokens,
+                          Callback<std::size_t> done);
+  void CancelReservations(const ScheduleFeedback& feedback,
+                          Callback<std::size_t> done);
+  // &LegionScheduleRequestList enact_schedule(&LegionScheduleRequestList);
+  void EnactSchedule(const ScheduleFeedback& feedback,
+                     Callback<EnactResult> done);
+
+  EnactorOptions& options() { return options_; }
+  const EnactorStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = EnactorStats{}; }
+
+ private:
+  struct Negotiation;
+
+  void StartMaster(const std::shared_ptr<Negotiation>& n);
+  void RequestMissing(const std::shared_ptr<Negotiation>& n);
+  void ReserveIndex(const std::shared_ptr<Negotiation>& n, std::size_t index);
+  void OnRoundComplete(const std::shared_ptr<Negotiation>& n);
+  void AbandonMaster(const std::shared_ptr<Negotiation>& n);
+  void Succeed(const std::shared_ptr<Negotiation>& n);
+  void Fail(const std::shared_ptr<Negotiation>& n);
+  void CancelHeld(const std::shared_ptr<Negotiation>& n, std::size_t index);
+
+  // Per-class instantiation demand, resolved from the local class object
+  // (the Enactor caches this knowledge between calls in the real system).
+  void LookupDemand(const Loid& class_loid, std::size_t* memory_mb,
+                    double* cpu_fraction) const;
+
+  EnactorOptions options_;
+  EnactorStats stats_;
+};
+
+}  // namespace legion

@@ -1,0 +1,36 @@
+// Object migration (paper section 2.1).
+//
+// "All Legion objects automatically support shutdown and restart, and
+// therefore any active object can be migrated by shutting it down, moving
+// the passive state to a new Vault if necessary, and activating the
+// object on another host."
+//
+// MigrateObject drives exactly that pipeline as a chain of
+// message-counted RPCs issued on behalf of `agent` (typically the Monitor
+// or a Scheduler):
+//   1. old host: DeactivateObject  (stores the OPR in the old vault)
+//   2. old vault -> new vault: FetchOpr / StoreOpr / DeleteOpr
+//      (skipped when the vault stays put)
+//   3. new host: ReactivateObject  (fetches the OPR, restores, admits)
+#pragma once
+
+#include "objects/legion_object.h"
+#include "resources/host_object.h"
+
+namespace legion {
+
+struct MigrationOutcome {
+  bool success = false;
+  Loid from_host;
+  Loid to_host;
+  Duration elapsed;
+  std::string detail;
+};
+
+// Migrates `object` to (to_host, to_vault).  The object must currently be
+// active.  `agent` pays for the control messages.
+void MigrateObject(SimKernel* kernel, const Loid& agent, const Loid& object,
+                   const Loid& to_host, const Loid& to_vault,
+                   Callback<MigrationOutcome> done);
+
+}  // namespace legion

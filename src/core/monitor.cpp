@@ -1,0 +1,55 @@
+#include "core/monitor.h"
+
+namespace legion {
+
+namespace {
+constexpr std::uint64_t kServiceClassSerial = 5;
+}  // namespace
+
+MonitorObject::MonitorObject(SimKernel* kernel, Loid loid)
+    : LegionObject(kernel, loid,
+                   Loid(LoidSpace::kClass, loid.domain(), kServiceClassSerial)) {
+  kernel->network().RegisterEndpoint(loid, loid.domain());
+  (void)Activate(loid, Loid());
+  mutable_attributes().Set("service", "monitor");
+}
+
+void MonitorObject::WatchHost(HostObject* host, const std::string& event_name) {
+  SimKernel* kernel = this->kernel();
+  const Loid host_loid = host->loid();
+  const Loid monitor_loid = loid();
+  host->events().RegisterOutcall(
+      event_name, [kernel, host_loid, monitor_loid](const RgeEvent& event) {
+        // The outcall crosses the network from the host to the monitor.
+        kernel->Send(host_loid, monitor_loid, kSmallMessage,
+                     [kernel, monitor_loid, event] {
+                       auto* monitor = dynamic_cast<MonitorObject*>(
+                           kernel->FindActor(monitor_loid));
+                       if (monitor != nullptr) monitor->OnEvent(event);
+                     });
+      });
+}
+
+std::string MonitorObject::WatchLoadThreshold(HostObject* host,
+                                              double threshold) {
+  const std::string event_name =
+      "load_above_" + std::to_string(threshold);
+  TriggerSpec spec;
+  spec.event_name = event_name;
+  spec.guard = [threshold](const AttributeDatabase& attrs) {
+    const AttrValue* load = attrs.Get("host_load");
+    return load != nullptr && load->is_numeric() &&
+           load->as_double() > threshold;
+  };
+  spec.edge_sensitive = true;
+  host->events().RegisterTrigger(std::move(spec));
+  WatchHost(host, event_name);
+  return event_name;
+}
+
+void MonitorObject::OnEvent(const RgeEvent& event) {
+  ++events_received_;
+  if (handler_) handler_(event);
+}
+
+}  // namespace legion

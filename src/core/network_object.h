@@ -1,0 +1,60 @@
+// Network Objects (paper section 6, future work -- implemented).
+//
+// "We are developing Network Objects to manage communications
+// resources."  This Network Object measures the communication fabric
+// the way a scheduler needs it described: it plants one beacon host per
+// administrative domain, times relayed probe messages between beacons
+// (a -> b legs timestamped at each hop, so the measurement is a real
+// traversal of the simulated WAN, jitter and all), and publishes the
+// pairwise latency matrix into the Collection as attributes
+// ("net_latency_us_<i>_<j>").  Communication-aware schedulers can then
+// *query* for network structure instead of assuming it.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "core/collection.h"
+#include "objects/legion_object.h"
+
+namespace legion {
+
+class NetworkObject : public LegionObject {
+ public:
+  NetworkObject(SimKernel* kernel, Loid loid);
+
+  std::string DebugName() const override { return "network-object"; }
+
+  // Registers the probe representative for a domain (any endpoint that
+  // lives there; typically a host).
+  void AddBeacon(std::uint32_t domain, const Loid& beacon);
+  // Collections to push the latency matrix into.
+  void AddCollection(const Loid& collection);
+
+  // Probes every ordered beacon pair once; `done` gets the number of
+  // successful measurements.  Lost probes (partitions, loss) simply
+  // leave that pair unmeasured this round.
+  void ProbeAll(Callback<std::size_t> done);
+
+  // Periodic probing.
+  void Start(Duration period);
+  void Stop();
+
+  // Latest measurement for (a, b), if any.
+  std::optional<Duration> MeasuredLatency(std::uint32_t a,
+                                          std::uint32_t b) const;
+  std::size_t measurement_count() const { return measured_.size(); }
+
+ private:
+  void RecordMeasurement(std::uint32_t a, std::uint32_t b, Duration latency);
+  void PushMatrix();
+
+  std::map<std::uint32_t, Loid> beacons_;
+  std::vector<Loid> collections_;
+  std::map<std::pair<std::uint32_t, std::uint32_t>, Duration> measured_;
+  SimKernel::PeriodicId timer_ = 0;
+  bool joined_ = false;
+};
+
+}  // namespace legion

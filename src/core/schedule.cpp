@@ -1,0 +1,129 @@
+#include "core/schedule.h"
+
+#include <sstream>
+
+namespace legion {
+
+std::string ObjectMapping::ToString() const {
+  std::string s = class_loid.ToString() + " -> (" + host.ToString() + ", " +
+                  vault.ToString() + ")";
+  if (!implementation.empty()) s += " [" + implementation + "]";
+  return s;
+}
+
+std::string VariantSchedule::ToString() const {
+  std::ostringstream os;
+  os << "variant[" << replaces.ToString() << "]{";
+  for (std::size_t i = 0; i < mappings.size(); ++i) {
+    if (i != 0) os << "; ";
+    os << '#' << mappings[i].first << ": " << mappings[i].second.ToString();
+  }
+  os << '}';
+  return os.str();
+}
+
+std::vector<ObjectMapping> MasterSchedule::WithVariant(std::size_t v) const {
+  std::vector<ObjectMapping> result = mappings;
+  for (const auto& [index, mapping] : variants[v].mappings) {
+    result[index] = mapping;
+  }
+  return result;
+}
+
+Status MasterSchedule::Validate() const {
+  if (mappings.empty()) {
+    return Status::Error(ErrorCode::kMalformedSchedule,
+                         "master schedule has no mappings");
+  }
+  for (std::size_t i = 0; i < mappings.size(); ++i) {
+    const ObjectMapping& m = mappings[i];
+    if (!m.class_loid.valid() || !m.host.valid() || !m.vault.valid()) {
+      return Status::Error(ErrorCode::kMalformedSchedule,
+                           "mapping " + std::to_string(i) +
+                               " names an invalid LOID");
+    }
+  }
+  for (std::size_t v = 0; v < variants.size(); ++v) {
+    const VariantSchedule& variant = variants[v];
+    if (variant.replaces.size() != mappings.size()) {
+      return Status::Error(ErrorCode::kMalformedSchedule,
+                           "variant " + std::to_string(v) +
+                               " bitmap width disagrees with master");
+    }
+    if (variant.mappings.size() != variant.replaces.Count()) {
+      return Status::Error(ErrorCode::kMalformedSchedule,
+                           "variant " + std::to_string(v) +
+                               " bitmap population disagrees with mappings");
+    }
+    for (const auto& [index, mapping] : variant.mappings) {
+      if (index >= mappings.size()) {
+        return Status::Error(ErrorCode::kMalformedSchedule,
+                             "variant " + std::to_string(v) +
+                                 " replaces out-of-range index " +
+                                 std::to_string(index));
+      }
+      if (!variant.replaces.Test(index)) {
+        return Status::Error(ErrorCode::kMalformedSchedule,
+                             "variant " + std::to_string(v) +
+                                 " mapping index not in its bitmap");
+      }
+      if (!mapping.class_loid.valid() || !mapping.host.valid() ||
+          !mapping.vault.valid()) {
+        return Status::Error(ErrorCode::kMalformedSchedule,
+                             "variant " + std::to_string(v) +
+                                 " names an invalid LOID");
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+std::string MasterSchedule::ToString() const {
+  std::ostringstream os;
+  os << "master{";
+  for (std::size_t i = 0; i < mappings.size(); ++i) {
+    if (i != 0) os << "; ";
+    os << mappings[i].ToString();
+  }
+  os << '}';
+  for (const auto& variant : variants) os << ' ' << variant.ToString();
+  return os.str();
+}
+
+Status ScheduleRequestList::Validate() const {
+  if (masters.empty()) {
+    return Status::Error(ErrorCode::kMalformedSchedule,
+                         "request list has no master schedules");
+  }
+  for (const MasterSchedule& master : masters) {
+    Status status = master.Validate();
+    if (!status.ok()) return status;
+  }
+  return Status::Ok();
+}
+
+std::string ScheduleRequestList::ToString() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < masters.size(); ++i) {
+    if (i != 0) os << '\n';
+    os << '[' << i << "] " << masters[i].ToString();
+  }
+  return os.str();
+}
+
+std::string EnactResult::ToString() const {
+  std::ostringstream os;
+  os << (success ? "enacted{" : "failed{");
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    if (i != 0) os << "; ";
+    if (instances[i].ok()) {
+      os << instances[i].value().ToString();
+    } else {
+      os << instances[i].status().ToString();
+    }
+  }
+  os << '}';
+  return os.str();
+}
+
+}  // namespace legion

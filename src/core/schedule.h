@@ -1,0 +1,122 @@
+// Schedule data structures (paper section 3.3, figure 5).
+//
+// "Each Schedule has at least one Master Schedule, and each Master
+// Schedule may have a list of Variant Schedules associated with it.  Both
+// master and variant schedules contain a list of mappings, with each
+// mapping having the type (Class LOID -> (Host LOID x Vault LOID)). ...
+// Our data structure includes a bitmap field (one bit per object mapping)
+// for each variant schedule which allows the Enactor to efficiently
+// select the next variant schedule to try."
+//
+// Types mirror the paper's names: ScheduleList is a single schedule,
+// ScheduleRequestList is the whole figure-5 structure, and
+// ScheduleFeedback is what the Enactor returns from make_reservations().
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "base/bitmap.h"
+#include "base/loid.h"
+#include "base/result.h"
+#include "base/token.h"
+
+namespace legion {
+
+// One object-instance mapping: an instance of `class_loid` should be
+// started on (host, vault).  `implementation` optionally pins which of
+// the class's implementations to run ("in the future, this mapping
+// process may also select from among the available implementations as
+// well", §3.3 -- implemented): the "arch/os" key, empty = host default.
+struct ObjectMapping {
+  Loid class_loid;
+  Loid host;
+  Loid vault;
+  std::string implementation;
+
+  friend bool operator==(const ObjectMapping& a, const ObjectMapping& b) {
+    return a.class_loid == b.class_loid && a.host == b.host &&
+           a.vault == b.vault && a.implementation == b.implementation;
+  }
+  std::string ToString() const;
+};
+
+// A variant schedule: replacement mappings for a subset of the master's
+// entries.  `replaces` has one bit per master mapping; `mappings` carries
+// (master index, new mapping) pairs for exactly the set bits.
+struct VariantSchedule {
+  Bitmap replaces;
+  std::vector<std::pair<std::size_t, ObjectMapping>> mappings;
+
+  std::string ToString() const;
+};
+
+// A master schedule with its variants.
+struct MasterSchedule {
+  std::vector<ObjectMapping> mappings;
+  std::vector<VariantSchedule> variants;
+
+  std::size_t size() const { return mappings.size(); }
+
+  // The mapping list obtained by applying variant `v` onto the master.
+  std::vector<ObjectMapping> WithVariant(std::size_t v) const;
+
+  // Structural validation: bitmap widths, index bounds, bit/mapping
+  // agreement, non-empty mapping lists, valid LOIDs.
+  Status Validate() const;
+
+  std::string ToString() const;
+};
+
+// "A LegionScheduleList is simply a single schedule (e.g. a Master or
+// Variant schedule)."
+using ScheduleList = MasterSchedule;
+
+// "A LegionScheduleRequestList is the entire data structure shown in
+// figure 5."
+struct ScheduleRequestList {
+  std::vector<MasterSchedule> masters;
+
+  bool empty() const { return masters.empty(); }
+  Status Validate() const;
+  std::string ToString() const;
+};
+
+// Which schedule within a request list succeeded.
+struct ScheduleChoice {
+  std::size_t master_index = 0;
+  // Variant indices applied, in order; empty means the plain master.
+  std::vector<std::size_t> variant_indices;
+};
+
+// "LegionScheduleFeedback is returned by the Enactor, and contains the
+// original LegionScheduleRequestList and feedback information indicating
+// whether the reservations were successfully made, and if so, which
+// schedule succeeded."
+struct ScheduleFeedback {
+  ScheduleRequestList original;
+  bool success = false;
+  std::optional<ScheduleChoice> winner;
+  // On success: the effective mappings and one reservation token per
+  // mapping (what enact_schedule consumes).
+  std::vector<ObjectMapping> reserved_mappings;
+  std::vector<ReservationToken> tokens;
+  // On failure: the Enactor "may (but is not required to) report whether
+  // the failure was due to an inability to obtain resources, a malformed
+  // schedule, or other failure".
+  ErrorCode failure = ErrorCode::kOk;
+  std::string failure_detail;
+};
+
+// What enact_schedule() reports back per mapping.
+struct EnactResult {
+  bool success = false;
+  // One entry per reserved mapping: the started instance, or the error.
+  std::vector<Result<Loid>> instances;
+  std::string ToString() const;
+};
+
+}  // namespace legion

@@ -1,0 +1,182 @@
+#include "core/scheduler.h"
+
+#include <sstream>
+
+namespace legion {
+
+namespace {
+constexpr std::uint64_t kServiceClassSerial = 5;
+}  // namespace
+
+SchedulerObject::SchedulerObject(SimKernel* kernel, Loid loid,
+                                 std::string name, Loid collection,
+                                 Loid enactor)
+    : LegionObject(kernel, loid,
+                   Loid(LoidSpace::kClass, loid.domain(), kServiceClassSerial)),
+      name_(std::move(name)),
+      collection_(collection),
+      enactor_(enactor) {
+  kernel->network().RegisterEndpoint(loid, loid.domain());
+  (void)Activate(loid, Loid());
+  mutable_attributes().Set("service", "scheduler");
+  mutable_attributes().Set("scheduler_name", name_);
+}
+
+void SchedulerObject::QueryHosts(const std::string& query,
+                                 Callback<CollectionData> done) {
+  ++collection_lookups_;
+  CallOn<CollectionData, CollectionObject>(
+      kernel(), loid(), collection_, kSmallMessage, kLargeMessage,
+      kDefaultRpcTimeout,
+      [query](CollectionObject& collection, Callback<CollectionData> reply) {
+        collection.QueryCollection(query, std::move(reply));
+      },
+      std::move(done));
+}
+
+void SchedulerObject::GetImplementations(
+    const Loid& class_loid, Callback<std::vector<Implementation>> done) {
+  CallOn<std::vector<Implementation>, ClassInterface>(
+      kernel(), loid(), class_loid, kSmallMessage, kSmallMessage,
+      kDefaultRpcTimeout,
+      [](ClassInterface& klass, Callback<std::vector<Implementation>> reply) {
+        klass.GetImplementations(std::move(reply));
+      },
+      std::move(done));
+}
+
+std::string SchedulerObject::HostMatchQuery(
+    const std::vector<Implementation>& implementations) {
+  if (implementations.empty()) return "true";
+  std::ostringstream os;
+  for (std::size_t i = 0; i < implementations.size(); ++i) {
+    if (i != 0) os << " or ";
+    os << "($host_arch == \"" << implementations[i].arch
+       << "\" and $host_os_name == \"" << implementations[i].os_name << "\")";
+  }
+  return os.str();
+}
+
+std::vector<Loid> SchedulerObject::CompatibleVaultsOf(
+    const CollectionRecord& record) {
+  std::vector<Loid> vaults;
+  const AttrValue* list = record.attributes.Get("compatible_vaults");
+  if (list == nullptr || !list->is_list()) return vaults;
+  for (const AttrValue& entry : list->as_list()) {
+    if (!entry.is_string()) continue;
+    if (auto loid = ParseLoid(entry.as_string()); loid.has_value()) {
+      vaults.push_back(*loid);
+    }
+  }
+  return vaults;
+}
+
+std::string SchedulerObject::ImplementationFor(
+    const CollectionRecord& record) {
+  const AttrValue* arch = record.attributes.Get("host_arch");
+  const AttrValue* os = record.attributes.Get("host_os_name");
+  if (arch == nullptr || os == nullptr || !arch->is_string() ||
+      !os->is_string()) {
+    return "";
+  }
+  return arch->as_string() + "/" + os->as_string();
+}
+
+// ---- The figure-9 run loop ---------------------------------------------------
+
+struct SchedulerObject::RunState {
+  PlacementRequest request;
+  RunOptions options;
+  Callback<RunOutcome> done;
+  RunOutcome outcome;
+  int enact_attempts_this_schedule = 0;
+};
+
+void SchedulerObject::ScheduleAndEnact(const PlacementRequest& request,
+                                       RunOptions options,
+                                       Callback<RunOutcome> done) {
+  auto state = std::make_shared<RunState>();
+  state->request = request;
+  state->options = options;
+  state->done = std::move(done);
+  RunScheduleAttempt(state);
+}
+
+void SchedulerObject::RunScheduleAttempt(
+    const std::shared_ptr<RunState>& state) {
+  if (state->outcome.sched_attempts >= state->options.sched_try_limit) {
+    state->done(std::move(state->outcome));
+    return;
+  }
+  ++state->outcome.sched_attempts;
+  state->enact_attempts_this_schedule = 0;
+  ComputeSchedule(state->request,
+                  [this, state](Result<ScheduleRequestList> schedule) {
+                    if (!schedule.ok() || schedule->empty()) {
+                      RunScheduleAttempt(state);
+                      return;
+                    }
+                    RunEnactAttempt(state, *schedule);
+                  });
+}
+
+void SchedulerObject::RunEnactAttempt(const std::shared_ptr<RunState>& state,
+                                      const ScheduleRequestList& schedule) {
+  if (state->enact_attempts_this_schedule >= state->options.enact_try_limit) {
+    RunScheduleAttempt(state);
+    return;
+  }
+  ++state->enact_attempts_this_schedule;
+  ++state->outcome.enact_attempts;
+
+  auto* enactor = dynamic_cast<EnactorObject*>(kernel()->FindActor(enactor_));
+  if (enactor == nullptr) {
+    state->outcome.success = false;
+    state->done(std::move(state->outcome));
+    return;
+  }
+  // Pass the entire set of schedules to make_reservations() and wait for
+  // feedback (figure 6 usage).  Receiving the feedback and choosing to
+  // proceed is the paper's "Enactor consults with the Scheduler to
+  // confirm the schedule" step.
+  CallOn<ScheduleFeedback, EnactorObject>(
+      kernel(), loid(), enactor_, kMediumMessage, kMediumMessage,
+      kDefaultRpcTimeout,
+      [schedule](EnactorObject& e, Callback<ScheduleFeedback> reply) {
+        e.MakeReservations(schedule, std::move(reply));
+      },
+      [this, state, schedule](Result<ScheduleFeedback> feedback) {
+        if (!feedback.ok() || !feedback->success) {
+          if (feedback.ok()) state->outcome.feedback = *feedback;
+          RunEnactAttempt(state, schedule);
+          return;
+        }
+        state->outcome.feedback = *feedback;
+        CallOn<EnactResult, EnactorObject>(
+            kernel(), loid(), enactor_, kMediumMessage, kMediumMessage,
+            kDefaultRpcTimeout,
+            [fb = *feedback](EnactorObject& e, Callback<EnactResult> reply) {
+              e.EnactSchedule(fb, std::move(reply));
+            },
+            [this, state, schedule](Result<EnactResult> enacted) {
+              if (enacted.ok()) state->outcome.enacted = *enacted;
+              if (enacted.ok() && enacted->success) {
+                state->outcome.success = true;
+                state->done(std::move(state->outcome));
+                return;
+              }
+              // Enactment failed: release what we still hold, then retry
+              // within this schedule's enact budget.
+              auto* enactor = dynamic_cast<EnactorObject*>(
+                  kernel()->FindActor(enactor_));
+              if (enactor != nullptr &&
+                  state->outcome.feedback.success) {
+                enactor->CancelReservations(state->outcome.feedback,
+                                            [](Result<std::size_t>) {});
+              }
+              RunEnactAttempt(state, schedule);
+            });
+      });
+}
+
+}  // namespace legion

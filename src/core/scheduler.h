@@ -1,0 +1,108 @@
+// The Scheduler (paper section 3.3).
+//
+// "The Scheduler computes the mapping of objects to resources.  At a
+// minimum, the Scheduler knows how many instances of each class must be
+// started. ... any Scheduler may query the object classes to determine
+// such information (e.g., the available implementations, or memory or
+// communication requirements).  The Scheduler obtains resource
+// description information by querying the Collection, and then computes
+// a mapping of object instances to resources.  This mapping is passed on
+// to the Enactor for implementation."
+//
+// SchedulerObject is the abstract base: it owns the Collection/Enactor
+// wiring, provides the query helpers every placement policy needs, and
+// implements the generalized run loop of figure 9 (compute a schedule,
+// make reservations, enact, retry within limits) as ScheduleAndEnact().
+// Concrete policies override ComputeSchedule().
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/collection.h"
+#include "core/enactor.h"
+#include "core/schedule.h"
+#include "objects/legion_object.h"
+
+namespace legion {
+
+// What the scheduler is asked to place: instances-per-class.
+struct InstanceRequest {
+  Loid class_loid;
+  std::size_t count = 1;
+};
+using PlacementRequest = std::vector<InstanceRequest>;
+
+// Figure 9's global limits, as per-call options.
+struct RunOptions {
+  int sched_try_limit = 3;   // SchedTryLimit
+  int enact_try_limit = 2;   // EnactTryLimit
+};
+
+// The outcome of a full schedule-reserve-enact run.
+struct RunOutcome {
+  bool success = false;
+  ScheduleFeedback feedback;   // last reservation feedback
+  EnactResult enacted;         // last enactment result
+  int sched_attempts = 0;
+  int enact_attempts = 0;
+};
+
+class SchedulerObject : public LegionObject {
+ public:
+  SchedulerObject(SimKernel* kernel, Loid loid, std::string name,
+                  Loid collection, Loid enactor);
+
+  const std::string& name() const { return name_; }
+  std::string DebugName() const override { return "scheduler " + name_; }
+
+  // Computes a ScheduleRequestList for the placement request.  Policies
+  // that cannot produce any feasible schedule complete with an error.
+  virtual void ComputeSchedule(const PlacementRequest& request,
+                               Callback<ScheduleRequestList> done) = 0;
+
+  // The full pipeline: compute -> make_reservations -> (confirm) ->
+  // enact_schedule, with figure 9's retry structure.
+  void ScheduleAndEnact(const PlacementRequest& request, RunOptions options,
+                        Callback<RunOutcome> done);
+
+  // Number of QueryCollection calls issued (experiment E3's metric).
+  std::uint64_t collection_lookups() const { return collection_lookups_; }
+
+ protected:
+  // Queries the Collection over the network.
+  void QueryHosts(const std::string& query, Callback<CollectionData> done);
+  // Steps 2-3 of figure 3: acquire application knowledge from the class.
+  void GetImplementations(const Loid& class_loid,
+                          Callback<std::vector<Implementation>> done);
+
+  // Builds the query text selecting hosts able to run any of the given
+  // implementations (the "query Collection for Hosts matching available
+  // implementations" step of figures 7 and 8).
+  static std::string HostMatchQuery(
+      const std::vector<Implementation>& implementations);
+
+  // Extracts the compatible-vault LOIDs from a host's Collection record.
+  static std::vector<Loid> CompatibleVaultsOf(const CollectionRecord& record);
+
+  // Implementation selection (§3.3 implemented): the "arch/os" key the
+  // host's record advertises, recorded into the mapping so enactment
+  // runs exactly the binary the schedule chose.
+  static std::string ImplementationFor(const CollectionRecord& record);
+
+  Loid collection_loid() const { return collection_; }
+  Loid enactor_loid() const { return enactor_; }
+
+ private:
+  struct RunState;
+  void RunScheduleAttempt(const std::shared_ptr<RunState>& state);
+  void RunEnactAttempt(const std::shared_ptr<RunState>& state,
+                       const ScheduleRequestList& schedule);
+
+  std::string name_;
+  Loid collection_;
+  Loid enactor_;
+  std::uint64_t collection_lookups_ = 0;
+};
+
+}  // namespace legion

@@ -1,0 +1,36 @@
+// "k out of n" scheduling (paper section 3.3, future work).
+//
+// "We will also support 'k out of n' scheduling, where the Scheduler
+// specifies an equivalence class of n resources and asks the Enactor to
+// start k instances of the same object on them."
+//
+// Implemented as promised: the scheduler ranks the feasible hosts,
+// declares the top n an equivalence class, emits a master schedule over
+// the first k, and generates single-bit variant schedules substituting
+// each spare resource for each position.  The Enactor's bitmap-guided
+// selection then realizes the k-of-n semantics: any k of the n resources
+// that grant reservations satisfy the schedule, with no reservation
+// thrashing on the k-1 positions that already succeeded.
+#pragma once
+
+#include "core/scheduler.h"
+
+namespace legion {
+
+class KOfNScheduler : public SchedulerObject {
+ public:
+  // `n` is the equivalence-class size; k comes from the request count.
+  KOfNScheduler(SimKernel* kernel, Loid loid, Loid collection, Loid enactor,
+                std::size_t n)
+      : SchedulerObject(kernel, loid, "k-of-n", collection, enactor), n_(n) {}
+
+  void ComputeSchedule(const PlacementRequest& request,
+                       Callback<ScheduleRequestList> done) override;
+
+  std::size_t n() const { return n_; }
+
+ private:
+  std::size_t n_;
+};
+
+}  // namespace legion

@@ -1,0 +1,85 @@
+#include "core/schedulers/random_scheduler.h"
+
+namespace legion {
+
+struct RandomScheduler::GenState {
+  PlacementRequest request;
+  Callback<ScheduleRequestList> done;
+  std::size_t class_index = 0;
+  MasterSchedule master;
+};
+
+void RandomScheduler::ComputeSchedule(const PlacementRequest& request,
+                                      Callback<ScheduleRequestList> done) {
+  auto state = std::make_shared<GenState>();
+  state->request = request;
+  state->done = std::move(done);
+  NextClass(state);
+}
+
+void RandomScheduler::NextClass(const std::shared_ptr<GenState>& state) {
+  if (state->class_index >= state->request.size()) {
+    if (state->master.mappings.empty()) {
+      state->done(Status::Error(ErrorCode::kNoResources,
+                                "no mappings could be generated"));
+      return;
+    }
+    ScheduleRequestList list;
+    list.masters.push_back(std::move(state->master));
+    state->done(std::move(list));
+    return;
+  }
+  const InstanceRequest& instance_request =
+      state->request[state->class_index];
+  // "query the class for available implementations"
+  GetImplementations(
+      instance_request.class_loid,
+      [this, state, instance_request](
+          Result<std::vector<Implementation>> implementations) {
+        if (!implementations.ok()) {
+          state->done(implementations.status());
+          return;
+        }
+        // "query Collection for Hosts matching available implementations"
+        QueryHosts(
+            HostMatchQuery(*implementations),
+            [this, state, instance_request](Result<CollectionData> hosts) {
+              if (!hosts.ok()) {
+                state->done(hosts.status());
+                return;
+              }
+              if (hosts->empty()) {
+                state->done(Status::Error(
+                    ErrorCode::kNoResources,
+                    "no matching hosts for class " +
+                        instance_request.class_loid.ToString()));
+                return;
+              }
+              // "for i := 1 to k: pick a Host H at random; extract list of
+              //  compatible vaults from H; randomly pick a compatible
+              //  vault V; append the target (H, V) to the master schedule"
+              for (std::size_t i = 0; i < instance_request.count; ++i) {
+                const CollectionRecord& host =
+                    (*hosts)[rng_.Index(hosts->size())];
+                std::vector<Loid> vaults = CompatibleVaultsOf(host);
+                if (vaults.empty()) {
+                  state->done(Status::Error(
+                      ErrorCode::kNoResources,
+                      "host has no compatible vaults: " +
+                          host.member.ToString()));
+                  return;
+                }
+                ObjectMapping mapping;
+                mapping.class_loid = instance_request.class_loid;
+                mapping.host = host.member;
+                mapping.vault = vaults[rng_.Index(vaults.size())];
+                mapping.implementation = ImplementationFor(host);
+                state->master.mappings.push_back(mapping);
+              }
+              ++state->class_index;
+              NextClass(state);
+            });
+      });
+}
+
+}  // namespace legion

@@ -1,0 +1,91 @@
+// Ranked schedulers: the "smarter" policies the paper's infrastructure
+// is meant to enable (sections 1 and 4.3 promise that specialized
+// schedulers easily outperform the random default; these are the
+// simplest such specializations).
+//
+// A RankedScheduler scores every feasible host (lower is better), spreads
+// instances across the best hosts (charging each assignment against the
+// host's remaining capacity so one fast host is not swamped), and emits
+// IRS-style variant schedules built from the next-best alternatives.
+//
+//   * LoadAwareScheduler  -- score = host_load (optionally the injected
+//     forecast_load() prediction), exercising the paper's claim that rich
+//     attribute export lets schedulers avoid "subtly nonfeasible"
+//     schedules: hosts without enough free memory are filtered out.
+//   * CostAwareScheduler  -- score = cost_per_cpu_second / speed, i.e.
+//     dollars per unit of work, using the economic attributes the paper
+//     says hosts can export.
+#pragma once
+
+#include "core/scheduler.h"
+
+namespace legion {
+
+class RankedScheduler : public SchedulerObject {
+ public:
+  RankedScheduler(SimKernel* kernel, Loid loid, std::string name,
+                  Loid collection, Loid enactor, std::size_t nvariants = 3)
+      : SchedulerObject(kernel, loid, std::move(name), collection, enactor),
+        nvariants_(nvariants) {}
+
+  void ComputeSchedule(const PlacementRequest& request,
+                       Callback<ScheduleRequestList> done) override;
+
+ protected:
+  // Lower scores place first.  `record` is the host's Collection record.
+  virtual double Score(const CollectionRecord& record) const = 0;
+  // Feasibility beyond arch/OS matching; default demands available
+  // memory for the class's per-instance footprint.
+  virtual bool Feasible(const CollectionRecord& record,
+                        std::size_t memory_mb) const;
+
+ private:
+  struct GenState;
+  void NextClass(const std::shared_ptr<GenState>& state);
+
+  std::size_t nvariants_;
+};
+
+class LoadAwareScheduler : public RankedScheduler {
+ public:
+  LoadAwareScheduler(SimKernel* kernel, Loid loid, Loid collection,
+                     Loid enactor, bool use_forecast = false,
+                     std::size_t nvariants = 3)
+      : RankedScheduler(kernel, loid,
+                        use_forecast ? "load-forecast" : "load-aware",
+                        collection, enactor, nvariants),
+        use_forecast_(use_forecast) {}
+
+ protected:
+  double Score(const CollectionRecord& record) const override;
+
+ private:
+  bool use_forecast_;
+};
+
+class CostAwareScheduler : public RankedScheduler {
+ public:
+  CostAwareScheduler(SimKernel* kernel, Loid loid, Loid collection,
+                     Loid enactor, std::size_t nvariants = 3)
+      : RankedScheduler(kernel, loid, "cost-aware", collection, enactor,
+                        nvariants) {}
+
+ protected:
+  double Score(const CollectionRecord& record) const override;
+};
+
+// Deterministic round-robin over the feasible hosts (a classic baseline:
+// ignores state entirely but spreads perfectly evenly).
+class RoundRobinScheduler : public RankedScheduler {
+ public:
+  RoundRobinScheduler(SimKernel* kernel, Loid loid, Loid collection,
+                      Loid enactor, std::size_t nvariants = 3)
+      : RankedScheduler(kernel, loid, "round-robin", collection, enactor,
+                        nvariants) {}
+
+ protected:
+  // All hosts tie; the spreading logic then cycles them in LOID order.
+  double Score(const CollectionRecord&) const override { return 0.0; }
+};
+
+}  // namespace legion

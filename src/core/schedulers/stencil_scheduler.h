@@ -1,0 +1,46 @@
+// A specialized placement policy for 2-D stencil applications
+// (paper section 4.3).
+//
+// "We are in the process of defining and implementing specialized
+// placement policies for structured multi-object applications. ...
+// we are working with the DoD MSRC in Stennis, Mississippi to develop a
+// Scheduler for an MPI-based ocean simulation which uses nearest-neighbor
+// communication within a 2-D grid."
+//
+// The policy exploits exactly the application knowledge the paper
+// describes: instances form a rows x cols grid with nearest-neighbour
+// communication, so cutting the grid across administrative domains is
+// expensive (every cut edge pays WAN latency each iteration).  The
+// scheduler partitions the grid into contiguous row bands, sizes each
+// band by a domain's aggregate capacity, and fills bands from hosts of a
+// single domain (least-loaded first), so inter-domain edges appear only
+// between adjacent bands.
+#pragma once
+
+#include "core/scheduler.h"
+
+namespace legion {
+
+class StencilScheduler : public SchedulerObject {
+ public:
+  StencilScheduler(SimKernel* kernel, Loid loid, Loid collection,
+                   Loid enactor, std::size_t rows, std::size_t cols)
+      : SchedulerObject(kernel, loid, "stencil", collection, enactor),
+        rows_(rows),
+        cols_(cols) {}
+
+  // The request must total rows*cols instances (one class).  Mappings
+  // come out in row-major cell order, which is how the workload
+  // executor's Stencil2D application numbers its instances.
+  void ComputeSchedule(const PlacementRequest& request,
+                       Callback<ScheduleRequestList> done) override;
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+};
+
+}  // namespace legion

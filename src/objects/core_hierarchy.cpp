@@ -1,0 +1,60 @@
+#include "objects/core_hierarchy.h"
+
+namespace legion {
+
+CoreHierarchy EnsureCoreHierarchy(SimKernel* kernel, std::uint32_t domain) {
+  CoreHierarchy hierarchy;
+  auto ensure = [&](std::uint64_t serial, const std::string& name,
+                    Loid metaclass) -> ClassObject* {
+    const Loid loid(LoidSpace::kClass, domain, serial);
+    if (auto* existing = dynamic_cast<ClassObject*>(kernel->FindActor(loid))) {
+      return existing;
+    }
+    auto* created = kernel->AddActor<ClassObject>(
+        loid, name, std::vector<Implementation>{});
+    kernel->network().RegisterEndpoint(loid, domain);
+    (void)metaclass;  // ClassObject derives its metaclass from the loid
+    return created;
+  };
+  // LegionClass is its own class: ClassObject's constructor stamps
+  // class_loid = (kClass, domain, 0); for figure-1 fidelity what matters
+  // is resolvability, so we create LegionClass at its well-known serial
+  // and let the chain walker treat it as the root.
+  hierarchy.legion_class =
+      ensure(kLegionClassSerial, "LegionClass", LegionClassLoid(domain));
+  hierarchy.host_class =
+      ensure(kHostClassSerial, "HostClass", LegionClassLoid(domain));
+  hierarchy.vault_class =
+      ensure(kVaultClassSerial, "VaultClass", LegionClassLoid(domain));
+  return hierarchy;
+}
+
+std::vector<Loid> ClassChainOf(SimKernel* kernel, const Loid& class_loid,
+                               std::size_t max_depth) {
+  // ClassObject stamps serial 0 as "metaclass of this domain": it
+  // resolves to the domain's LegionClass at every level.
+  auto normalize = [](Loid loid) {
+    if (loid.space() == LoidSpace::kClass && loid.serial() == 0) {
+      return LegionClassLoid(loid.domain());
+    }
+    return loid;
+  };
+  std::vector<Loid> chain;
+  Loid current = normalize(class_loid);
+  for (std::size_t depth = 0; depth < max_depth && current.valid(); ++depth) {
+    chain.push_back(current);
+    // LegionClass roots the hierarchy.
+    if (current.space() == LoidSpace::kClass &&
+        current.serial() == kLegionClassSerial) {
+      break;
+    }
+    auto* object = dynamic_cast<LegionObject*>(kernel->FindActor(current));
+    if (object == nullptr) break;
+    const Loid next = normalize(object->class_loid());
+    if (next == current) break;
+    current = next;
+  }
+  return chain;
+}
+
+}  // namespace legion

@@ -1,0 +1,79 @@
+#include "objects/legion_object.h"
+
+namespace legion {
+
+const char* ToString(ObjectState state) {
+  switch (state) {
+    case ObjectState::kInactive:
+      return "inactive";
+    case ObjectState::kActive:
+      return "active";
+    case ObjectState::kDead:
+      return "dead";
+  }
+  return "unknown";
+}
+
+LegionObject::LegionObject(SimKernel* kernel, Loid loid, Loid class_loid)
+    : Actor(kernel, loid), class_loid_(class_loid), events_(loid) {}
+
+Status LegionObject::Activate(const Loid& host, const Loid& vault) {
+  if (state_ == ObjectState::kDead) {
+    return Status::Error(ErrorCode::kUnavailable, "object is dead");
+  }
+  if (state_ == ObjectState::kActive) {
+    return Status::Error(ErrorCode::kAlreadyExists, "object already active");
+  }
+  host_ = host;
+  vault_ = vault;
+  state_ = ObjectState::kActive;
+  OnActivate();
+  return Status::Ok();
+}
+
+Status LegionObject::Deactivate() {
+  if (state_ != ObjectState::kActive) {
+    return Status::Error(ErrorCode::kUnavailable, "object not active");
+  }
+  OnDeactivate();
+  state_ = ObjectState::kInactive;
+  host_ = Loid();
+  return Status::Ok();
+}
+
+void LegionObject::MarkDead() {
+  if (state_ == ObjectState::kActive) OnDeactivate();
+  state_ = ObjectState::kDead;
+  host_ = Loid();
+}
+
+Opr LegionObject::SaveState() const {
+  Opr opr;
+  opr.object = loid();
+  opr.class_loid = class_loid_;
+  opr.attributes = attributes_;
+  ByteWriter writer;
+  SerializeBody(writer);
+  opr.body = writer.Take();
+  opr.saved_at = kernel()->Now();
+  return opr;
+}
+
+Status LegionObject::RestoreState(const Opr& opr) {
+  if (state_ == ObjectState::kActive) {
+    return Status::Error(ErrorCode::kAlreadyExists,
+                         "cannot restore an active object");
+  }
+  if (opr.object != loid()) {
+    return Status::Error(ErrorCode::kInvalidArgument, "OPR identity mismatch");
+  }
+  attributes_ = opr.attributes;
+  ByteReader reader(opr.body);
+  return DeserializeBody(reader);
+}
+
+std::size_t LegionObject::EvaluateTriggers() {
+  return events_.Evaluate(attributes_, kernel()->Now());
+}
+
+}  // namespace legion

@@ -1,0 +1,86 @@
+// The Legion object base: every entity in the system -- classes, hosts,
+// vaults, services, and user objects -- is a LegionObject.
+//
+// From the paper (section 2.1): all Legion objects automatically support
+// shutdown and restart (via the OPR), carry an extensible attribute
+// database, and participate in the RGE event mechanism.  Any active object
+// can be migrated by shutting it down, moving the passive state to a new
+// Vault if necessary, and activating the object on another host.
+#pragma once
+
+#include <string>
+
+#include "base/attributes.h"
+#include "base/loid.h"
+#include "base/result.h"
+#include "base/serialize.h"
+#include "objects/opr.h"
+#include "objects/rge.h"
+#include "sim/kernel.h"
+
+namespace legion {
+
+enum class ObjectState {
+  kInactive,  // passive; state lives in an OPR in some vault
+  kActive,    // running on a host
+  kDead,      // killed; cannot be reactivated
+};
+
+const char* ToString(ObjectState state);
+
+class LegionObject : public Actor {
+ public:
+  LegionObject(SimKernel* kernel, Loid loid, Loid class_loid);
+
+  Loid class_loid() const { return class_loid_; }
+  ObjectState state() const { return state_; }
+  bool active() const { return state_ == ObjectState::kActive; }
+
+  // Current placement; valid only while active (host) or inactive with a
+  // stored OPR (vault).
+  const Loid& host() const { return host_; }
+  const Loid& vault() const { return vault_; }
+
+  const AttributeDatabase& attributes() const { return attributes_; }
+  AttributeDatabase& mutable_attributes() { return attributes_; }
+
+  EventManager& events() { return events_; }
+
+  // ---- Lifecycle --------------------------------------------------------
+  // Transitions to active on (host, vault).  Calls OnActivate().
+  Status Activate(const Loid& host, const Loid& vault);
+  // Transitions to inactive.  Calls OnDeactivate().  The caller (Host /
+  // migration engine) is responsible for storing the OPR.
+  Status Deactivate();
+  // Terminal: the object cannot run again.
+  void MarkDead();
+
+  // ---- Persistence ------------------------------------------------------
+  // Captures the full passive state.  Subclasses extend via SerializeBody.
+  Opr SaveState() const;
+  // Restores from an OPR (attributes + body).  Object must be inactive.
+  Status RestoreState(const Opr& opr);
+
+  // Evaluates this object's triggers against its own attributes.
+  std::size_t EvaluateTriggers();
+
+ protected:
+  // Subclass extension points.
+  virtual void OnActivate() {}
+  virtual void OnDeactivate() {}
+  virtual void SerializeBody(ByteWriter& writer) const { (void)writer; }
+  virtual Status DeserializeBody(ByteReader& reader) {
+    (void)reader;
+    return Status::Ok();
+  }
+
+ private:
+  Loid class_loid_;
+  ObjectState state_ = ObjectState::kInactive;
+  Loid host_;
+  Loid vault_;
+  AttributeDatabase attributes_;
+  EventManager events_;
+};
+
+}  // namespace legion

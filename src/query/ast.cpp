@@ -1,0 +1,152 @@
+#include "query/ast.h"
+
+#include <sstream>
+
+namespace legion::query {
+
+Result<AttrValue> NotExpr::Eval(const EvalContext& ctx) const {
+  auto v = operand_->Eval(ctx);
+  if (!v) return v;
+  return AttrValue(!v->Truthy());
+}
+
+Result<AttrValue> BoolExpr::Eval(const EvalContext& ctx) const {
+  auto lhs = lhs_->Eval(ctx);
+  if (!lhs) return lhs;
+  const bool left = lhs->Truthy();
+  // Short-circuit like the C family.
+  if (op_ == Op::kAnd && !left) return AttrValue(false);
+  if (op_ == Op::kOr && left) return AttrValue(true);
+  auto rhs = rhs_->Eval(ctx);
+  if (!rhs) return rhs;
+  return AttrValue(rhs->Truthy());
+}
+
+std::string BoolExpr::ToString() const {
+  return "(" + lhs_->ToString() + (op_ == Op::kAnd ? " and " : " or ") +
+         rhs_->ToString() + ")";
+}
+
+Result<AttrValue> CompareExpr::Eval(const EvalContext& ctx) const {
+  auto lhs = lhs_->Eval(ctx);
+  if (!lhs) return lhs;
+  auto rhs = rhs_->Eval(ctx);
+  if (!rhs) return rhs;
+  // Equality works on any pair; the inequality of incomparable values is
+  // true only for kNe.
+  if (op_ == Op::kEq) return AttrValue(*lhs == *rhs);
+  if (op_ == Op::kNe) return AttrValue(*lhs != *rhs);
+  auto cmp = CompareAttrValues(*lhs, *rhs);
+  if (!cmp.has_value()) return AttrValue(false);  // incomparable: not an error
+  switch (op_) {
+    case Op::kLt: return AttrValue(*cmp < 0);
+    case Op::kLe: return AttrValue(*cmp <= 0);
+    case Op::kGt: return AttrValue(*cmp > 0);
+    case Op::kGe: return AttrValue(*cmp >= 0);
+    default: break;
+  }
+  return Status::Error(ErrorCode::kInternal, "bad comparison op");
+}
+
+std::string CompareExpr::ToString() const {
+  const char* op = "?";
+  switch (op_) {
+    case Op::kEq: op = "=="; break;
+    case Op::kNe: op = "!="; break;
+    case Op::kLt: op = "<"; break;
+    case Op::kLe: op = "<="; break;
+    case Op::kGt: op = ">"; break;
+    case Op::kGe: op = ">="; break;
+  }
+  return "(" + lhs_->ToString() + " " + op + " " + rhs_->ToString() + ")";
+}
+
+MatchExpr::MatchExpr(ExprPtr pattern, ExprPtr subject)
+    : pattern_(std::move(pattern)), subject_(std::move(subject)) {
+  // Precompile literal patterns (the overwhelmingly common case) so
+  // evaluation is thread-safe and fast.
+  if (auto* literal = dynamic_cast<const LiteralExpr*>(pattern_.get());
+      literal != nullptr && literal->value().is_string()) {
+    try {
+      compiled_.emplace(literal->value().as_string(),
+                        std::regex::ECMAScript | std::regex::optimize);
+    } catch (const std::regex_error&) {
+      // Leave uncompiled; evaluation reports the error with context.
+    }
+  }
+}
+
+Result<AttrValue> MatchExpr::Eval(const EvalContext& ctx) const {
+  auto subject = subject_->Eval(ctx);
+  if (!subject) return subject;
+  if (subject->is_null()) return AttrValue(false);  // missing attribute
+  if (!subject->is_string()) {
+    return Status::Error(ErrorCode::kInvalidArgument,
+                         "match() subject is not a string");
+  }
+  if (compiled_.has_value()) {
+    return AttrValue(std::regex_search(subject->as_string(), *compiled_));
+  }
+  auto pattern = pattern_->Eval(ctx);
+  if (!pattern) return pattern;
+  if (!pattern->is_string()) {
+    return Status::Error(ErrorCode::kInvalidArgument,
+                         "match() pattern is not a string");
+  }
+  try {
+    std::regex re(pattern->as_string(), std::regex::ECMAScript);
+    return AttrValue(std::regex_search(subject->as_string(), re));
+  } catch (const std::regex_error& e) {
+    return Status::Error(ErrorCode::kInvalidArgument,
+                         std::string("bad regular expression: ") + e.what());
+  }
+}
+
+std::string MatchExpr::ToString() const {
+  return "match(" + pattern_->ToString() + ", " + subject_->ToString() + ")";
+}
+
+Result<AttrValue> ContainsExpr::Eval(const EvalContext& ctx) const {
+  auto list = list_->Eval(ctx);
+  if (!list) return list;
+  auto needle = needle_->Eval(ctx);
+  if (!needle) return needle;
+  if (list->is_null()) return AttrValue(false);
+  if (!list->is_list()) {
+    // Scalars degrade to equality, which makes contains() usable on
+    // attributes that may be single- or multi-valued.
+    return AttrValue(*list == *needle);
+  }
+  for (const auto& element : list->as_list()) {
+    if (element == *needle) return AttrValue(true);
+  }
+  return AttrValue(false);
+}
+
+Result<AttrValue> InjectedCallExpr::Eval(const EvalContext& ctx) const {
+  if (ctx.functions == nullptr || !ctx.functions->Has(name_)) {
+    return Status::Error(ErrorCode::kNotFound,
+                         "unknown query function '" + name_ + "'");
+  }
+  std::vector<AttrValue> args;
+  args.reserve(args_.size());
+  for (const auto& arg : args_) {
+    auto v = arg->Eval(ctx);
+    if (!v) return v;
+    args.push_back(std::move(*v));
+  }
+  return (*ctx.functions->Find(name_))(ctx.record, args);
+}
+
+std::string InjectedCallExpr::ToString() const {
+  std::ostringstream os;
+  os << name_ << '(';
+  for (std::size_t i = 0; i < args_.size(); ++i) {
+    if (i != 0) os << ", ";
+    os << args_[i]->ToString();
+  }
+  os << ')';
+  return os.str();
+}
+
+}  // namespace legion::query

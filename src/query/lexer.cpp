@@ -1,0 +1,177 @@
+#include "query/lexer.h"
+
+#include <cctype>
+
+namespace legion::query {
+
+const char* ToString(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kEnd: return "<end>";
+    case TokenKind::kAttr: return "attribute";
+    case TokenKind::kIdent: return "identifier";
+    case TokenKind::kString: return "string";
+    case TokenKind::kInt: return "integer";
+    case TokenKind::kDouble: return "number";
+    case TokenKind::kLParen: return "(";
+    case TokenKind::kRParen: return ")";
+    case TokenKind::kComma: return ",";
+    case TokenKind::kEq: return "==";
+    case TokenKind::kNe: return "!=";
+    case TokenKind::kLt: return "<";
+    case TokenKind::kLe: return "<=";
+    case TokenKind::kGt: return ">";
+    case TokenKind::kGe: return ">=";
+  }
+  return "?";
+}
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentBody(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '.';
+}
+
+Status LexError(std::size_t offset, const std::string& what) {
+  return Status::Error(ErrorCode::kInvalidArgument,
+                       "query lex error at offset " + std::to_string(offset) +
+                           ": " + what);
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Lex(const std::string& text) {
+  std::vector<Token> tokens;
+  std::size_t i = 0;
+  const std::size_t n = text.size();
+  while (i < n) {
+    const char c = text[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    Token token;
+    token.offset = i;
+    if (c == '(') {
+      token.kind = TokenKind::kLParen;
+      ++i;
+    } else if (c == ')') {
+      token.kind = TokenKind::kRParen;
+      ++i;
+    } else if (c == ',') {
+      token.kind = TokenKind::kComma;
+      ++i;
+    } else if (c == '=') {
+      // Both '==' and the lone '=' mean equality.
+      token.kind = TokenKind::kEq;
+      i += (i + 1 < n && text[i + 1] == '=') ? 2 : 1;
+    } else if (c == '!') {
+      if (i + 1 >= n || text[i + 1] != '=') {
+        return LexError(i, "expected '=' after '!'");
+      }
+      token.kind = TokenKind::kNe;
+      i += 2;
+    } else if (c == '<') {
+      if (i + 1 < n && text[i + 1] == '=') {
+        token.kind = TokenKind::kLe;
+        i += 2;
+      } else {
+        token.kind = TokenKind::kLt;
+        ++i;
+      }
+    } else if (c == '>') {
+      if (i + 1 < n && text[i + 1] == '=') {
+        token.kind = TokenKind::kGe;
+        i += 2;
+      } else {
+        token.kind = TokenKind::kGt;
+        ++i;
+      }
+    } else if (c == '$') {
+      ++i;
+      if (i >= n || !IsIdentStart(text[i])) {
+        return LexError(token.offset, "'$' must begin an attribute name");
+      }
+      std::size_t start = i;
+      while (i < n && IsIdentBody(text[i])) ++i;
+      token.kind = TokenKind::kAttr;
+      token.text = text.substr(start, i - start);
+    } else if (c == '"') {
+      ++i;
+      std::string value;
+      bool closed = false;
+      while (i < n) {
+        if (text[i] == '\\' && i + 1 < n) {
+          const char esc = text[i + 1];
+          switch (esc) {
+            case 'n': value.push_back('\n'); break;
+            case 't': value.push_back('\t'); break;
+            case '\\': value.push_back('\\'); break;
+            case '"': value.push_back('"'); break;
+            default:
+              // Unknown escapes pass through verbatim so regex escapes
+              // like "\." survive ("5\..*" in the paper's example).
+              value.push_back('\\');
+              value.push_back(esc);
+          }
+          i += 2;
+          continue;
+        }
+        if (text[i] == '"') {
+          closed = true;
+          ++i;
+          break;
+        }
+        value.push_back(text[i]);
+        ++i;
+      }
+      if (!closed) return LexError(token.offset, "unterminated string");
+      token.kind = TokenKind::kString;
+      token.text = std::move(value);
+    } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+               (c == '-' && i + 1 < n &&
+                std::isdigit(static_cast<unsigned char>(text[i + 1])))) {
+      std::size_t start = i;
+      if (c == '-') ++i;
+      bool is_double = false;
+      while (i < n && (std::isdigit(static_cast<unsigned char>(text[i])) ||
+                       text[i] == '.' || text[i] == 'e' || text[i] == 'E' ||
+                       ((text[i] == '+' || text[i] == '-') && i > start &&
+                        (text[i - 1] == 'e' || text[i - 1] == 'E')))) {
+        if (text[i] == '.' || text[i] == 'e' || text[i] == 'E') {
+          is_double = true;
+        }
+        ++i;
+      }
+      const std::string number = text.substr(start, i - start);
+      try {
+        if (is_double) {
+          token.kind = TokenKind::kDouble;
+          token.double_value = std::stod(number);
+        } else {
+          token.kind = TokenKind::kInt;
+          token.int_value = std::stoll(number);
+        }
+      } catch (...) {
+        return LexError(start, "bad numeric literal '" + number + "'");
+      }
+    } else if (IsIdentStart(c)) {
+      std::size_t start = i;
+      while (i < n && IsIdentBody(text[i])) ++i;
+      token.kind = TokenKind::kIdent;
+      token.text = text.substr(start, i - start);
+    } else {
+      return LexError(i, std::string("unexpected character '") + c + "'");
+    }
+    tokens.push_back(std::move(token));
+  }
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.offset = n;
+  tokens.push_back(end);
+  return tokens;
+}
+
+}  // namespace legion::query

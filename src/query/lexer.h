@@ -1,0 +1,54 @@
+// Lexer for the Collection query language.
+//
+// "A Collection query is a logical expression conforming to the grammar
+// described in our earlier work [MESSIAHS].  This grammar allows typical
+// operations (field matching, semantic comparisons, and boolean
+// combinations of terms).  Identifiers refer to attribute names within a
+// particular record, and are of the form $AttributeName."  (paper 3.2)
+//
+// Token inventory: $attrs, identifiers (function names and the keywords
+// and/or/not/true/false), string literals with C-style escapes, integer
+// and floating literals, comparison operators, parentheses, and commas.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+
+namespace legion::query {
+
+enum class TokenKind {
+  kEnd,
+  kAttr,     // $name
+  kIdent,    // bare identifier / keyword
+  kString,   // "..."
+  kInt,
+  kDouble,
+  kLParen,
+  kRParen,
+  kComma,
+  kEq,       // == (and = as a synonym)
+  kNe,       // !=
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+};
+
+const char* ToString(TokenKind kind);
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;        // attr/ident/string payload
+  std::int64_t int_value = 0;
+  double double_value = 0.0;
+  std::size_t offset = 0;  // position in the query, for error messages
+};
+
+// Tokenizes the whole query; fails on unterminated strings or stray
+// characters.
+Result<std::vector<Token>> Lex(const std::string& text);
+
+}  // namespace legion::query

@@ -1,0 +1,219 @@
+#include "query/parser.h"
+
+#include <algorithm>
+
+#include "query/lexer.h"
+
+namespace legion::query {
+namespace {
+
+std::string Lowered(const std::string& s) {
+  std::string out = s;
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return out;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<ExprPtr> Run() {
+    auto expr = ParseOr();
+    if (!expr) return expr;
+    if (Peek().kind != TokenKind::kEnd) {
+      return Error("trailing input after expression");
+    }
+    return expr;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  Token Take() { return tokens_[pos_++]; }
+  bool PeekKeyword(const char* kw) const {
+    return Peek().kind == TokenKind::kIdent && Lowered(Peek().text) == kw;
+  }
+
+  Status Error(const std::string& what) const {
+    return Status::Error(ErrorCode::kInvalidArgument,
+                         "query parse error at offset " +
+                             std::to_string(Peek().offset) + ": " + what);
+  }
+
+  Result<ExprPtr> ParseOr() {
+    auto lhs = ParseAnd();
+    if (!lhs) return lhs;
+    while (PeekKeyword("or")) {
+      Take();
+      auto rhs = ParseAnd();
+      if (!rhs) return rhs;
+      lhs = ExprPtr(std::make_unique<BoolExpr>(
+          BoolExpr::Op::kOr, std::move(*lhs), std::move(*rhs)));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseAnd() {
+    auto lhs = ParseNot();
+    if (!lhs) return lhs;
+    while (PeekKeyword("and")) {
+      Take();
+      auto rhs = ParseNot();
+      if (!rhs) return rhs;
+      lhs = ExprPtr(std::make_unique<BoolExpr>(
+          BoolExpr::Op::kAnd, std::move(*lhs), std::move(*rhs)));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseNot() {
+    if (PeekKeyword("not")) {
+      Take();
+      auto operand = ParseNot();
+      if (!operand) return operand;
+      return ExprPtr(std::make_unique<NotExpr>(std::move(*operand)));
+    }
+    return ParseComparison();
+  }
+
+  Result<ExprPtr> ParseComparison() {
+    auto lhs = ParseValue();
+    if (!lhs) return lhs;
+    CompareExpr::Op op;
+    switch (Peek().kind) {
+      case TokenKind::kEq: op = CompareExpr::Op::kEq; break;
+      case TokenKind::kNe: op = CompareExpr::Op::kNe; break;
+      case TokenKind::kLt: op = CompareExpr::Op::kLt; break;
+      case TokenKind::kLe: op = CompareExpr::Op::kLe; break;
+      case TokenKind::kGt: op = CompareExpr::Op::kGt; break;
+      case TokenKind::kGe: op = CompareExpr::Op::kGe; break;
+      default:
+        return lhs;  // bare value (e.g. a boolean attribute or call)
+    }
+    Take();
+    auto rhs = ParseValue();
+    if (!rhs) return rhs;
+    return ExprPtr(std::make_unique<CompareExpr>(op, std::move(*lhs),
+                                                 std::move(*rhs)));
+  }
+
+  Result<ExprPtr> ParseValue() {
+    const Token& token = Peek();
+    switch (token.kind) {
+      case TokenKind::kLParen: {
+        Take();
+        auto inner = ParseOr();
+        if (!inner) return inner;
+        if (Peek().kind != TokenKind::kRParen) return Error("expected ')'");
+        Take();
+        return inner;
+      }
+      case TokenKind::kAttr: {
+        Token attr = Take();
+        return ExprPtr(std::make_unique<AttrRefExpr>(std::move(attr.text)));
+      }
+      case TokenKind::kString: {
+        Token s = Take();
+        return ExprPtr(
+            std::make_unique<LiteralExpr>(AttrValue(std::move(s.text))));
+      }
+      case TokenKind::kInt: {
+        Token v = Take();
+        return ExprPtr(std::make_unique<LiteralExpr>(AttrValue(v.int_value)));
+      }
+      case TokenKind::kDouble: {
+        Token v = Take();
+        return ExprPtr(
+            std::make_unique<LiteralExpr>(AttrValue(v.double_value)));
+      }
+      case TokenKind::kIdent: {
+        const std::string lowered = Lowered(token.text);
+        if (lowered == "true" || lowered == "false") {
+          Take();
+          return ExprPtr(
+              std::make_unique<LiteralExpr>(AttrValue(lowered == "true")));
+        }
+        return ParseCall();
+      }
+      default:
+        return Error(std::string("unexpected ") + ToString(token.kind));
+    }
+  }
+
+  Result<ExprPtr> ParseCall() {
+    Token name = Take();
+    if (Peek().kind != TokenKind::kLParen) {
+      return Error("expected '(' after '" + name.text + "'");
+    }
+    Take();
+    std::vector<ExprPtr> args;
+    if (Peek().kind != TokenKind::kRParen) {
+      while (true) {
+        auto arg = ParseOr();
+        if (!arg) return arg;
+        args.push_back(std::move(*arg));
+        if (Peek().kind == TokenKind::kComma) {
+          Take();
+          continue;
+        }
+        break;
+      }
+    }
+    if (Peek().kind != TokenKind::kRParen) {
+      return Error("expected ')' in call to '" + name.text + "'");
+    }
+    Take();
+
+    const std::string lowered = Lowered(name.text);
+    if (lowered == "match") {
+      if (args.size() != 2) return Error("match() takes two arguments");
+      // Argument-order reconciliation (paper footnote 5): the pattern is
+      // the string-literal side.  With two literals the first is the
+      // pattern (the corrected order); with two non-literals we also
+      // treat the first as the pattern.
+      const bool first_is_literal =
+          dynamic_cast<LiteralExpr*>(args[0].get()) != nullptr;
+      const bool second_is_literal =
+          dynamic_cast<LiteralExpr*>(args[1].get()) != nullptr;
+      ExprPtr pattern, subject;
+      if (!first_is_literal && second_is_literal) {
+        pattern = std::move(args[1]);
+        subject = std::move(args[0]);
+      } else {
+        pattern = std::move(args[0]);
+        subject = std::move(args[1]);
+      }
+      return ExprPtr(std::make_unique<MatchExpr>(std::move(pattern),
+                                                 std::move(subject)));
+    }
+    if (lowered == "defined" || lowered == "exists") {
+      if (args.size() != 1) return Error("defined() takes one argument");
+      auto* ref = dynamic_cast<AttrRefExpr*>(args[0].get());
+      if (ref == nullptr) {
+        return Error("defined() takes an attribute reference");
+      }
+      return ExprPtr(std::make_unique<DefinedExpr>(ref->name()));
+    }
+    if (lowered == "contains") {
+      if (args.size() != 2) return Error("contains() takes two arguments");
+      return ExprPtr(std::make_unique<ContainsExpr>(std::move(args[0]),
+                                                    std::move(args[1])));
+    }
+    return ExprPtr(
+        std::make_unique<InjectedCallExpr>(name.text, std::move(args)));
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<ExprPtr> Parse(const std::string& text) {
+  auto tokens = Lex(text);
+  if (!tokens) return tokens.status();
+  Parser parser(std::move(*tokens));
+  return parser.Run();
+}
+
+}  // namespace legion::query

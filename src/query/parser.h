@@ -1,0 +1,29 @@
+// Recursive-descent parser for the Collection query language.
+//
+// Grammar (precedence low to high):
+//   query      := or_expr
+//   or_expr    := and_expr ( "or" and_expr )*
+//   and_expr   := not_expr ( "and" not_expr )*
+//   not_expr   := "not" not_expr | comparison
+//   comparison := value ( ("=="|"="|"!="|"<"|"<="|">"|">=") value )?
+//   value      := literal | $attr | call | "(" query ")"
+//   call       := ident "(" [ query ("," query)* ] ")"
+//   literal    := string | int | double | "true" | "false"
+//
+// Builtin calls: match(a, b), defined($a), contains(list, v).  Any other
+// call parses into an InjectedCallExpr resolved at evaluation time
+// against the Collection's FunctionRegistry.
+#pragma once
+
+#include <string>
+
+#include "base/result.h"
+#include "query/ast.h"
+
+namespace legion::query {
+
+// Parses a query; the returned expression is immutable and thread-safe
+// to evaluate.
+Result<ExprPtr> Parse(const std::string& text);
+
+}  // namespace legion::query

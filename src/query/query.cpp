@@ -1,0 +1,23 @@
+#include "query/query.h"
+
+namespace legion::query {
+
+Result<CompiledQuery> CompiledQuery::Compile(const std::string& text) {
+  auto expr = Parse(text);
+  if (!expr) return expr.status();
+  return CompiledQuery(text, std::shared_ptr<const Expr>(std::move(*expr)));
+}
+
+bool CompiledQuery::Matches(const AttributeDatabase& record,
+                            const FunctionRegistry* functions,
+                            Status* error_out) const {
+  EvalContext ctx{record, functions};
+  auto value = expr_->Eval(ctx);
+  if (!value) {
+    if (error_out != nullptr) *error_out = value.status();
+    return false;
+  }
+  return value->Truthy();
+}
+
+}  // namespace legion::query

@@ -1,0 +1,37 @@
+// CompiledQuery: the user-facing facade over lex/parse/eval.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "base/attributes.h"
+#include "base/result.h"
+#include "query/ast.h"
+#include "query/parser.h"
+
+namespace legion::query {
+
+// A parsed query, immutable and shareable across threads.
+class CompiledQuery {
+ public:
+  static Result<CompiledQuery> Compile(const std::string& text);
+
+  // True iff the record satisfies the query.  Evaluation errors (bad
+  // injected function, type misuse) count as non-matches but are
+  // surfaced through `error_out` when provided.
+  bool Matches(const AttributeDatabase& record,
+               const FunctionRegistry* functions = nullptr,
+               Status* error_out = nullptr) const;
+
+  const std::string& text() const { return text_; }
+  std::string Canonical() const { return expr_->ToString(); }
+
+ private:
+  CompiledQuery(std::string text, std::shared_ptr<const Expr> expr)
+      : text_(std::move(text)), expr_(std::move(expr)) {}
+
+  std::string text_;
+  std::shared_ptr<const Expr> expr_;
+};
+
+}  // namespace legion::query

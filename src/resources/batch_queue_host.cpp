@@ -1,0 +1,253 @@
+#include "resources/batch_queue_host.h"
+
+#include <algorithm>
+
+namespace legion {
+
+BatchQueueHost::BatchQueueHost(SimKernel* kernel, Loid loid, HostSpec spec,
+                               std::uint64_t secret_seed,
+                               std::unique_ptr<QueueSystem> queue,
+                               Duration poll_period)
+    : HostObject(kernel, loid, std::move(spec), secret_seed),
+      queue_(std::move(queue)),
+      poll_period_(poll_period) {
+  queue_->SetCallbacks([this](const BatchJob& job) { OnJobStart(job); },
+                       [this](const BatchJob& job) { OnJobVacate(job); });
+  RepopulateAttributes();
+}
+
+BatchQueueHost::~BatchQueueHost() { StopQueuePolling(); }
+
+void BatchQueueHost::StartQueuePolling() {
+  if (poll_timer_ != 0) return;
+  poll_timer_ = kernel()->SchedulePeriodic(poll_period_, [this] { OnPoll(); });
+}
+
+void BatchQueueHost::StopQueuePolling() {
+  if (poll_timer_ == 0) return;
+  kernel()->CancelPeriodic(poll_timer_);
+  poll_timer_ = 0;
+}
+
+void BatchQueueHost::OnPoll() {
+  const SimTime now = kernel()->Now();
+  queue_->Poll(now);
+  // A reserved job still waiting after its window closed is a conflict
+  // even if it never starts: the reservation was not honored.
+  for (auto& [id, pending] : pending_jobs_) {
+    if (pending.started || pending.conflict_counted) continue;
+    if (pending.reservation_serial == 0) continue;
+    const SimTime window_end =
+        pending.request.token.start + pending.request.token.duration;
+    if (now >= window_end) {
+      pending.conflict_counted = true;
+      ++reservation_conflicts_;
+    }
+  }
+  RepopulateAttributes();
+}
+
+// ---- Reservation pass-through ------------------------------------------------
+
+void BatchQueueHost::MakeReservation(const ReservationRequest& request,
+                                     Callback<ReservationToken> done) {
+  // A reservation-aware queue gets a veto first: unlike the Unix-style
+  // host table, it also knows about running and queued jobs, so it can
+  // refuse windows it could not honor.
+  if (queue_->SupportsReservations()) {
+    const SimTime now = kernel()->Now();
+    const SimTime start = std::max(request.start, now);
+    if (!queue_->CanHonorWindow(start, start + request.duration,
+                                request.cpu_fraction, now)) {
+      done(Status::Error(ErrorCode::kNoResources,
+                         "queue cannot guarantee the window"));
+      return;
+    }
+  }
+  HostObject::MakeReservation(
+      request,
+      [this, cpu = request.cpu_fraction,
+       done = std::move(done)](Result<ReservationToken> result) {
+        if (result.ok() && queue_->SupportsReservations()) {
+          // Pass the job of managing the reservation through to the
+          // queuing system: the calendar protects the window from
+          // backfilled jobs.
+          const ReservationToken& token = *result;
+          queue_->AddReservationWindow(token.start,
+                                       token.start + token.duration, cpu);
+        }
+        done(std::move(result));
+      });
+}
+
+void BatchQueueHost::CancelReservation(const ReservationToken& token,
+                                       Callback<bool> done) {
+  double cpu = 1.0;
+  if (const ReservationRecord* record = table_.Find(token.serial)) {
+    cpu = record->cpu_fraction;
+  }
+  HostObject::CancelReservation(
+      token, [this, token, cpu, done = std::move(done)](Result<bool> result) {
+        if (result.ok() && *result && queue_->SupportsReservations()) {
+          queue_->RemoveReservationWindow(token.start,
+                                          token.start + token.duration, cpu);
+        }
+        done(std::move(result));
+      });
+}
+
+// ---- Submission ------------------------------------------------------------------
+
+Status BatchQueueHost::AdmitWithoutReservation(
+    const StartObjectRequest& request) {
+  // Batch systems accept any structurally valid submission; waiting is
+  // the queue's job.  The local policy still gets a say.
+  ReservationRequest probe;
+  probe.vault = request.vault;
+  probe.start = kernel()->Now();
+  probe.duration = request.estimated_runtime;
+  probe.requester = request.class_loid;
+  probe.requester_domain = request.class_loid.domain();
+  probe.memory_mb = request.memory_mb;
+  probe.cpu_fraction = request.cpu_fraction;
+  Status permit = policy_->Permit(probe, attributes(), kernel()->Now());
+  if (!permit.ok()) return permit;
+  if (request.memory_mb > spec_.memory_mb) {
+    return Status::Error(ErrorCode::kNoResources,
+                         "per-instance memory exceeds machine memory");
+  }
+  return Status::Ok();
+}
+
+void BatchQueueHost::LaunchObjects(const StartObjectRequest& request,
+                                   std::uint64_t reservation_serial,
+                                   Callback<std::vector<Loid>> done) {
+  auto created = CreateInstanceObjects(request);
+  if (!created.ok()) {
+    done(created.status());
+    return;
+  }
+  BatchJob job;
+  job.id = next_job_id_++;
+  job.instances = request.instances;
+  job.memory_mb = request.memory_mb;
+  job.cpu_fraction = request.cpu_fraction;
+  job.estimated_runtime = request.estimated_runtime;
+  job.submitted = kernel()->Now();
+  if (reservation_serial != 0) {
+    job.reserved = true;
+    job.window_start = request.token.start;
+    job.window_end = request.token.start + request.token.duration;
+    if (request.token.duration > Duration::Zero()) {
+      job.estimated_runtime = request.token.duration;
+    }
+  }
+  PendingJob pending;
+  pending.request = request;
+  pending.reservation_serial = reservation_serial;
+  pending_jobs_[job.id] = std::move(pending);
+  for (const Loid& instance : request.instances) {
+    instance_job_[instance] = job.id;
+  }
+  queue_->Submit(std::move(job));
+  // An opportunistic scheduling cycle: idle machines start work at once.
+  queue_->Poll(kernel()->Now());
+  RepopulateAttributes();
+  // Submission is the success the Class hears about; execution follows
+  // queue discipline.
+  done(std::move(*created));
+}
+
+void BatchQueueHost::OnJobStart(const BatchJob& job) {
+  auto it = pending_jobs_.find(job.id);
+  if (it == pending_jobs_.end()) return;
+  PendingJob& pending = it->second;
+  pending.started = true;
+
+  if (job.reserved) {
+    if (kernel()->Now() >= job.window_end && !pending.conflict_counted) {
+      // The "unavoidable potential for conflict": the queue could not
+      // honor the reserved window.
+      pending.conflict_counted = true;
+      ++reservation_conflicts_;
+    }
+    if (queue_->SupportsReservations()) {
+      // The job now occupies real slots; retire its calendar window so
+      // capacity is not double-counted.
+      queue_->RemoveReservationWindow(job.window_start, job.window_end,
+                                      job.cpu_fraction);
+    }
+  }
+
+  std::size_t live = 0;
+  for (const Loid& instance : job.instances) {
+    auto* object = dynamic_cast<LegionObject*>(kernel()->FindActor(instance));
+    if (object == nullptr) continue;  // killed while queued
+    if (!object->Activate(loid(), pending.request.vault.valid()
+                                       ? pending.request.vault
+                                       : pending.request.token.vault)
+             .ok()) {
+      continue;
+    }
+    RunningObject running;
+    running.object = instance;
+    running.vault = object->vault();
+    running.memory_mb = job.memory_mb;
+    running.cpu_fraction = job.cpu_fraction;
+    running.started = kernel()->Now();
+    running.reservation_serial = pending.reservation_serial;
+    running_[instance] = running;
+    ++objects_started_;
+    ++live;
+  }
+  pending.live_instances = live;
+  if (live == 0) {
+    queue_->JobFinished(job.id);
+    pending_jobs_.erase(it);
+  }
+  RepopulateAttributes();
+}
+
+void BatchQueueHost::OnJobVacate(const BatchJob& job) {
+  // The workstation owner returned (Condor-style): suspend the job's
+  // objects in place; they resume when the queue restarts the job.
+  for (const Loid& instance : job.instances) {
+    auto* object = dynamic_cast<LegionObject*>(kernel()->FindActor(instance));
+    if (object != nullptr && object->active()) {
+      (void)object->Deactivate();
+    }
+    running_.erase(instance);
+  }
+  auto it = pending_jobs_.find(job.id);
+  if (it != pending_jobs_.end()) it->second.live_instances = 0;
+  RepopulateAttributes();
+}
+
+void BatchQueueHost::OnObjectReleased(const RunningObject& released) {
+  auto it = instance_job_.find(released.object);
+  if (it == instance_job_.end()) return;
+  const std::uint64_t job_id = it->second;
+  instance_job_.erase(it);
+  auto pending_it = pending_jobs_.find(job_id);
+  if (pending_it == pending_jobs_.end()) return;
+  PendingJob& pending = pending_it->second;
+  if (pending.live_instances > 0) --pending.live_instances;
+  if (pending.live_instances == 0) {
+    queue_->JobFinished(job_id);
+    pending_jobs_.erase(pending_it);
+    // Freed slots may admit the next job immediately.
+    queue_->Poll(kernel()->Now());
+  }
+}
+
+void BatchQueueHost::ExtendAttributes(AttributeDatabase& attrs) {
+  attrs.Set("queue_flavor", queue_->flavor());
+  attrs.Set("queue_length", static_cast<std::int64_t>(queue_->queued_count()));
+  attrs.Set("queue_running",
+            static_cast<std::int64_t>(queue_->running_count()));
+  attrs.Set("queue_wait_estimate_s",
+            queue_->EstimateWait(kernel()->Now()).seconds());
+  attrs.Set("native_reservations", queue_->SupportsReservations());
+}
+
+}  // namespace legion

@@ -1,0 +1,212 @@
+// Host Objects (paper sections 2.1 and 3.1).
+//
+// "Host Objects encapsulate machine capabilities (e.g., a processor and
+// its associated memory) and are responsible for instantiating objects on
+// the processor.  In this way, the Host acts as an arbiter for the
+// machine's capabilities."
+//
+// HostObject implements the full Table 1 resource-management interface
+// (reservation management, process management, information reporting),
+// grants the four reservation types of Table 2 through its
+// ReservationTable, enforces a pluggable local placement policy (the
+// autonomy guarantee), reassesses its state periodically and repopulates
+// its attribute database, pushes updates into Collections, and raises RGE
+// trigger events (e.g. "load above threshold") that the Monitor can hook.
+//
+// This base class behaves like the paper's "standard Unix Host Object":
+// objects start immediately and the reservation table lives in the Host
+// because the underlying OS has no notion of reservations.  Subclasses
+// model SMPs and batch-queue-fronted machines.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "base/rng.h"
+#include "objects/interfaces.h"
+#include "objects/legion_object.h"
+#include "resources/load_model.h"
+#include "resources/placement_policy.h"
+#include "resources/reservation.h"
+
+namespace legion {
+
+// Static machine description.
+struct HostSpec {
+  std::string name = "host";
+  std::string arch = "x86";
+  std::string os_name = "Linux";
+  std::string os_version = "2.2";
+  std::uint32_t cpus = 1;
+  double speed_mips = 100.0;       // per-CPU compute rate
+  std::size_t memory_mb = 512;
+  double cost_per_cpu_second = 0.0;
+  std::uint32_t domain = 0;
+  double oversubscription = 4.0;   // timesharing headroom
+  Duration reassess_period = Duration::Seconds(10);
+  LoadModelParams load;
+};
+
+class HostObject : public LegionObject, public HostInterface {
+ public:
+  HostObject(SimKernel* kernel, Loid loid, HostSpec spec,
+             std::uint64_t secret_seed);
+
+  const HostSpec& spec() const { return spec_; }
+  std::string DebugName() const override { return "host " + spec_.name; }
+
+  // ---- HostInterface (Table 1) -------------------------------------------
+  void MakeReservation(const ReservationRequest& request,
+                       Callback<ReservationToken> done) override;
+  void CheckReservation(const ReservationToken& token,
+                        Callback<bool> done) override;
+  void CancelReservation(const ReservationToken& token,
+                         Callback<bool> done) override;
+  void StartObject(const StartObjectRequest& request,
+                   Callback<std::vector<Loid>> done) override;
+  void KillObject(const Loid& object, Callback<bool> done) override;
+  void DeactivateObject(const Loid& object, Callback<bool> done) override;
+  void GetCompatibleVaults(Callback<std::vector<Loid>> done) override;
+  void VaultOk(const Loid& vault, Callback<bool> done) override;
+
+  // ---- Configuration -------------------------------------------------------
+  void AddCompatibleVault(const Loid& vault);
+  void SetPolicy(std::unique_ptr<PlacementPolicy> policy);
+  // Wires an implementation-cache service object (paper §2): launches of
+  // a not-yet-seen implementation first pull its binary through the
+  // cache, so cold starts pay a visible transfer cost.
+  void SetImplementationCache(const Loid& cache) { impl_cache_ = cache; }
+  // Registers a Collection this host pushes attribute updates into.
+  void AddCollection(const Loid& collection);
+  // Removes all push targets (pull-only configurations, experiment E5).
+  void ClearCollections() { collections_.clear(); }
+  // Starts/stops the periodic state reassessment.
+  void StartReassessment();
+  void StopReassessment();
+
+  // ---- State -----------------------------------------------------------------
+  // Load as exported in "host_load": background + per-CPU object demand.
+  double CurrentLoad() const;
+  double background_load() const { return load_model_.current(); }
+  // Compute rate an object sees given current multiplexing.
+  double EffectiveSpeedPerObject() const;
+  std::size_t running_count() const { return running_.size(); }
+  const ReservationTable& reservations() const { return table_; }
+  ReservationTable& mutable_reservations() { return table_; }
+
+  // Injects a background-load spike and reflects it immediately in the
+  // exported attributes + triggers (migration experiments).
+  void SpikeLoad(double level);
+  // Raises the load model only; the spike becomes visible at the next
+  // periodic reassessment -- models detection latency.
+  void SpikeLoadQuietly(double level) { load_model_.Spike(level); }
+
+  // Immediately recomputes attributes, evaluates triggers, and pushes to
+  // Collections (also called by the periodic timer).
+  void ReassessState();
+
+  // Notification that an object finished on its own (workload executor);
+  // frees its resources and retires the object.
+  void FinishObject(const Loid& object);
+
+  // Reactivation path (paper: "object reactivation is initiated by an
+  // attempt to access the object; no explicit Host Object method is
+  // necessary" -- this is that implicit path, exposed for the migration
+  // engine): fetch the OPR from `vault`, restore, and run the object
+  // here, subject to capacity.
+  void ReactivateObject(const Loid& object, const Loid& vault,
+                        Callback<bool> done);
+
+  // Counters for experiments.
+  std::uint64_t objects_started() const { return objects_started_; }
+  std::uint64_t starts_refused() const { return starts_refused_; }
+
+ protected:
+  // What a host remembers about each object it is running.
+  struct RunningObject {
+    Loid object;
+    Loid vault;
+    std::size_t memory_mb = 0;
+    double cpu_fraction = 1.0;
+    SimTime started;
+    std::uint64_t reservation_serial = 0;  // 0 = no reservation
+  };
+
+  // Admission for token-less starts (the Class's default placement path).
+  virtual Status AdmitWithoutReservation(const StartObjectRequest& request);
+
+  // Actually places the objects on the machine.  The Unix host launches
+  // immediately; batch hosts queue.  Must eventually call `done`.  The
+  // base implementation routes through the implementation cache (if
+  // wired) and then LaunchPrepared.
+  virtual void LaunchObjects(const StartObjectRequest& request,
+                             std::uint64_t reservation_serial,
+                             Callback<std::vector<Loid>> done);
+  // Launch after the binary is locally available.
+  void LaunchPrepared(const StartObjectRequest& request,
+                      std::uint64_t reservation_serial,
+                      Callback<std::vector<Loid>> done);
+
+  // Subclass hook to add attributes during repopulation.
+  virtual void ExtendAttributes(AttributeDatabase& attrs) { (void)attrs; }
+  virtual std::string HostKind() const { return "unix"; }
+  // Called whenever a running object is released (killed, deactivated, or
+  // finished); batch hosts use it to free queue slots.
+  virtual void OnObjectReleased(const RunningObject& released) {
+    (void)released;
+  }
+
+  // Instantiates the (inactive) instance objects and adopts them into the
+  // kernel; activation happens separately so launches can be deferred to
+  // a reservation window or a batch queue slot.
+  Result<std::vector<Loid>> CreateInstanceObjects(
+      const StartObjectRequest& request);
+  // Activates previously created instances and registers them as running.
+  void ActivateCreated(const StartObjectRequest& request,
+                       std::uint64_t reservation_serial);
+
+  // Releases a running object's resources.  Returns false if unknown.
+  bool ReleaseObject(const Loid& object, bool kill);
+
+  double RunningCpuDemand() const;
+  std::size_t RunningMemoryDemand() const;
+
+  // Issues + admits the token once the vault is known reachable.
+  void GrantReservation(const ReservationRequest& request,
+                        Callback<ReservationToken> done);
+
+  void RepopulateAttributes();
+  void PushToCollections();
+
+  HostSpec spec_;
+  TokenAuthority authority_;
+  ReservationTable table_;
+  std::unique_ptr<PlacementPolicy> policy_;
+  LoadModel load_model_;
+  std::vector<Loid> compatible_vaults_;
+  std::vector<Loid> collections_;
+  Loid impl_cache_;  // invalid = no cache wired (binaries are free)
+  std::unordered_map<Loid, RunningObject> running_;
+  SimKernel::PeriodicId reassess_timer_ = 0;
+  bool joined_collections_ = false;
+  std::uint64_t objects_started_ = 0;
+  std::uint64_t starts_refused_ = 0;
+};
+
+// A shared-memory multiprocessor host: same protocol, several CPUs, and
+// StartObject's batched instance list is the efficient creation path the
+// paper calls out for multiprocessor systems.
+class SmpHost : public HostObject {
+ public:
+  SmpHost(SimKernel* kernel, Loid loid, HostSpec spec,
+          std::uint64_t secret_seed)
+      : HostObject(kernel, loid, std::move(spec), secret_seed) {}
+
+ protected:
+  std::string HostKind() const override { return "smp"; }
+};
+
+}  // namespace legion

@@ -1,0 +1,199 @@
+// Simulated queue management systems.
+//
+// The paper integrates machines fronted by queue managers through
+// specialized Host Objects: "We have Batch Queue Host implementations for
+// Unix machines, LoadLeveler, and Codine", Condor integration was in
+// progress, and "a Batch Queue Host for a system that does support
+// reservations, such as the Maui Scheduler, could ... pass the job of
+// managing reservations through to the queuing system."
+//
+// These models capture the scheduler-visible behaviour of each system:
+//   * FifoQueue        -- plain FCFS slots (Codine-like default);
+//   * CondorLikeQueue  -- cycle stealing: running jobs are vacated and
+//                         requeued when the workstation owner returns;
+//   * LoadLevelerLikeQueue -- job classes: short jobs outrank long ones,
+//                         with aging so long jobs eventually run;
+//   * MauiLikeQueue    -- native advance reservations: the queue keeps a
+//                         reservation calendar and never lets a backfilled
+//                         job trample a reserved window.
+//
+// None of these is a faithful re-implementation of the named product;
+// each reproduces the property the Legion RMI depends on (see DESIGN.md).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "base/loid.h"
+#include "base/rng.h"
+#include "base/sim_time.h"
+
+namespace legion {
+
+struct BatchJob {
+  std::uint64_t id = 0;
+  std::vector<Loid> instances;
+  std::size_t memory_mb = 0;     // per instance
+  double cpu_fraction = 1.0;     // per instance
+  Duration estimated_runtime = Duration::Minutes(30);
+  SimTime submitted;
+  int priority = 0;
+  // Reservation-backed jobs (Maui path): the window the job must run in.
+  bool reserved = false;
+  SimTime window_start;
+  SimTime window_end;
+  // Set by the queue when the job starts executing.
+  SimTime started;
+
+  double cpu_demand() const {
+    return cpu_fraction * static_cast<double>(instances.size());
+  }
+};
+
+class QueueSystem {
+ public:
+  explicit QueueSystem(double cpu_slots) : slots_(cpu_slots) {}
+  virtual ~QueueSystem() = default;
+
+  using JobCallback = std::function<void(const BatchJob&)>;
+  // `on_start` fires when a job begins executing; `on_vacate` when a
+  // running job is preempted and requeued (Condor-style).
+  void SetCallbacks(JobCallback on_start, JobCallback on_vacate) {
+    on_start_ = std::move(on_start);
+    on_vacate_ = std::move(on_vacate);
+  }
+
+  virtual void Submit(BatchJob job);
+  virtual bool Cancel(std::uint64_t job_id);
+  // Host notification that a running job's objects finished.
+  virtual void JobFinished(std::uint64_t job_id);
+  // One scheduling cycle: start whatever the discipline allows.
+  virtual void Poll(SimTime now) = 0;
+
+  std::size_t queued_count() const { return queue_.size(); }
+  std::size_t running_count() const { return running_.size(); }
+  double used_slots() const;
+  double slots() const { return slots_; }
+
+  // Rough FCFS wait estimate exported in host attributes.
+  virtual Duration EstimateWait(SimTime now) const;
+
+  virtual std::string flavor() const = 0;
+
+  // Native reservation support (Maui-like only).
+  virtual bool SupportsReservations() const { return false; }
+  // Whether a new window could be guaranteed; queues without native
+  // reservations have no opinion (the host's table decides alone).
+  virtual bool CanHonorWindow(SimTime start, SimTime end, double cpus,
+                              SimTime now) const {
+    (void)start; (void)end; (void)cpus; (void)now;
+    return true;
+  }
+  virtual void AddReservationWindow(SimTime start, SimTime end, double cpus) {
+    (void)start; (void)end; (void)cpus;
+  }
+  virtual void RemoveReservationWindow(SimTime start, SimTime end,
+                                       double cpus) {
+    (void)start; (void)end; (void)cpus;
+  }
+
+  std::uint64_t jobs_started() const { return jobs_started_; }
+  std::uint64_t jobs_vacated() const { return jobs_vacated_; }
+
+ protected:
+  // Moves the job at queue index `i` to running and fires on_start.
+  void StartJobAt(std::size_t index, SimTime now);
+  void VacateJob(std::uint64_t job_id, SimTime now);
+
+  double slots_;
+  std::deque<BatchJob> queue_;
+  std::map<std::uint64_t, BatchJob> running_;
+  JobCallback on_start_;
+  JobCallback on_vacate_;
+  std::uint64_t jobs_started_ = 0;
+  std::uint64_t jobs_vacated_ = 0;
+};
+
+// FCFS over CPU slots; the paper's generic "Batch Queue Host" substrate
+// (Codine-like behaviour).
+class FifoQueue : public QueueSystem {
+ public:
+  explicit FifoQueue(double cpu_slots) : QueueSystem(cpu_slots) {}
+  void Poll(SimTime now) override;
+  std::string flavor() const override { return "fifo"; }
+};
+
+// Cycle stealing with owner-return preemption.
+class CondorLikeQueue : public QueueSystem {
+ public:
+  CondorLikeQueue(double cpu_slots, double owner_return_prob_per_poll,
+                  std::uint64_t seed)
+      : QueueSystem(cpu_slots),
+        owner_return_prob_(owner_return_prob_per_poll),
+        rng_(seed) {}
+  void Poll(SimTime now) override;
+  std::string flavor() const override { return "condor"; }
+
+ private:
+  double owner_return_prob_;
+  Rng rng_;
+};
+
+// Priority classes with aging: shorter estimated runtime => higher class.
+class LoadLevelerLikeQueue : public QueueSystem {
+ public:
+  LoadLevelerLikeQueue(double cpu_slots,
+                       Duration aging_interval = Duration::Minutes(10))
+      : QueueSystem(cpu_slots), aging_interval_(aging_interval) {}
+  void Poll(SimTime now) override;
+  std::string flavor() const override { return "loadleveler"; }
+
+  static int ClassOf(const BatchJob& job);
+
+ private:
+  Duration aging_interval_;
+};
+
+// Native advance reservations + conservative backfill.
+class MauiLikeQueue : public QueueSystem {
+ public:
+  explicit MauiLikeQueue(double cpu_slots) : QueueSystem(cpu_slots) {}
+  void Poll(SimTime now) override;
+  std::string flavor() const override { return "maui"; }
+
+  bool SupportsReservations() const override { return true; }
+  void AddReservationWindow(SimTime start, SimTime end, double cpus) override;
+  void RemoveReservationWindow(SimTime start, SimTime end,
+                               double cpus) override;
+
+  // Reserved CPU capacity at instant `t` (excluding windows already being
+  // consumed by a reservation-backed running job is the host's concern;
+  // the calendar only tracks grants).
+  double ReservedAt(SimTime t) const;
+  std::size_t window_count() const { return windows_.size(); }
+
+  // Admission check for a new window: can `cpus` be guaranteed over
+  // [start, end) given the calendar and the running jobs' estimated
+  // completions?  This is what lets a Maui-style system refuse
+  // reservations it cannot honor instead of conflicting later.
+  bool CanHonorWindow(SimTime start, SimTime end, double cpus,
+                      SimTime now) const override;
+
+ private:
+  struct Window {
+    SimTime start, end;
+    double cpus;
+  };
+  // Can a non-reserved job of `demand` CPUs run in [now, now+run] without
+  // intruding on reserved capacity?
+  bool FitsOutsideReservations(double demand, SimTime now,
+                               Duration run) const;
+
+  std::vector<Window> windows_;
+};
+
+}  // namespace legion

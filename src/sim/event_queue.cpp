@@ -1,0 +1,50 @@
+#include "sim/event_queue.h"
+
+#include <cassert>
+
+namespace legion {
+
+EventId EventQueue::Schedule(SimTime when, EventFn fn) {
+  EventId id = next_id_++;
+  heap_.push(Entry{when, id, std::move(fn)});
+  pending_.insert(id);
+  return id;
+}
+
+bool EventQueue::Cancel(EventId id) {
+  // Only events still pending can be cancelled; ids that already ran (or
+  // were never issued) are rejected so live accounting stays correct.
+  auto it = pending_.find(id);
+  if (it == pending_.end()) return false;
+  pending_.erase(it);
+  cancelled_.insert(id);
+  return true;
+}
+
+void EventQueue::DropCancelledHead() {
+  while (!heap_.empty()) {
+    auto it = cancelled_.find(heap_.top().id);
+    if (it == cancelled_.end()) return;
+    cancelled_.erase(it);
+    heap_.pop();
+  }
+}
+
+SimTime EventQueue::NextTime() {
+  DropCancelledHead();
+  return heap_.empty() ? SimTime::Max() : heap_.top().when;
+}
+
+EventQueue::Popped EventQueue::Pop() {
+  DropCancelledHead();
+  assert(!heap_.empty());
+  // priority_queue::top() is const; the entry is moved out via const_cast,
+  // which is safe because pop() immediately removes it.
+  Entry& top = const_cast<Entry&>(heap_.top());
+  Popped popped{top.when, top.id, std::move(top.fn)};
+  pending_.erase(popped.id);
+  heap_.pop();
+  return popped;
+}
+
+}  // namespace legion

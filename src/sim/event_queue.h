@@ -1,0 +1,67 @@
+// The discrete-event queue.
+//
+// A binary heap of (time, sequence) ordered events.  The sequence number
+// makes execution order total and deterministic: two events scheduled for
+// the same instant run in scheduling order, independent of heap internals.
+// Events can be cancelled by id; cancellation is lazy (tombstoned).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "base/sim_time.h"
+
+namespace legion {
+
+using EventId = std::uint64_t;
+inline constexpr EventId kInvalidEventId = 0;
+
+class EventQueue {
+ public:
+  using EventFn = std::function<void()>;
+
+  // Schedules `fn` at absolute time `when`; returns a cancellable id.
+  EventId Schedule(SimTime when, EventFn fn);
+
+  // Cancels a pending event.  Returns false if already run or cancelled.
+  bool Cancel(EventId id);
+
+  bool empty() const { return pending_.empty(); }
+  std::size_t size() const { return pending_.size(); }
+
+  // Time of the earliest live event; SimTime::Max() when empty.
+  SimTime NextTime();
+
+  // Pops and returns the earliest live event.  Pre: !empty().
+  struct Popped {
+    SimTime when;
+    EventId id;
+    EventFn fn;
+  };
+  Popped Pop();
+
+ private:
+  struct Entry {
+    SimTime when;
+    EventId id;  // doubles as the deterministic tie-breaker
+    EventFn fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.id > b.id;
+    }
+  };
+
+  void DropCancelledHead();
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_set<EventId> pending_;    // scheduled, not yet run/cancelled
+  std::unordered_set<EventId> cancelled_;  // tombstones awaiting heap removal
+  EventId next_id_ = 1;
+};
+
+}  // namespace legion

@@ -1,0 +1,89 @@
+#include "sim/kernel.h"
+
+namespace legion {
+
+SimKernel::SimKernel(NetworkParams net_params, std::uint64_t seed)
+    : now_(SimTime::Zero()), network_(net_params) {
+  (void)seed;  // reserved for future kernel-level randomness
+}
+
+EventId SimKernel::ScheduleAt(SimTime when, EventQueue::EventFn fn) {
+  assert(when >= now_ && "cannot schedule in the past");
+  return queue_.Schedule(when, std::move(fn));
+}
+
+EventId SimKernel::ScheduleAfter(Duration delay, EventQueue::EventFn fn) {
+  return ScheduleAt(now_ + delay, std::move(fn));
+}
+
+SimKernel::PeriodicId SimKernel::SchedulePeriodic(Duration period,
+                                                  std::function<void()> fn) {
+  PeriodicId id = next_periodic_++;
+  auto shared_fn = std::make_shared<std::function<void()>>(std::move(fn));
+  periodic_[id] = ScheduleAfter(period, [this, id, period, shared_fn] {
+    RepeatPeriodic(id, period, shared_fn);
+  });
+  return id;
+}
+
+void SimKernel::RepeatPeriodic(PeriodicId id, Duration period,
+                               std::shared_ptr<std::function<void()>> fn) {
+  auto it = periodic_.find(id);
+  if (it == periodic_.end()) return;  // cancelled between firing and run
+  (*fn)();
+  // The callback may have cancelled the timer.
+  it = periodic_.find(id);
+  if (it == periodic_.end()) return;
+  it->second = ScheduleAfter(
+      period, [this, id, period, fn] { RepeatPeriodic(id, period, fn); });
+}
+
+void SimKernel::CancelPeriodic(PeriodicId id) {
+  auto it = periodic_.find(id);
+  if (it == periodic_.end()) return;
+  queue_.Cancel(it->second);
+  periodic_.erase(it);
+}
+
+std::uint64_t SimKernel::RunUntil(SimTime until) {
+  std::uint64_t executed = 0;
+  while (!queue_.empty()) {
+    SimTime next = queue_.NextTime();
+    if (next > until) break;
+    auto ev = queue_.Pop();
+    now_ = ev.when;
+    ev.fn();
+    ++executed;
+    ++stats_.events_run;
+  }
+  if (now_ < until && until < SimTime::Max()) now_ = until;
+  return executed;
+}
+
+Actor* SimKernel::AdoptActor(std::unique_ptr<Actor> actor) {
+  Actor* raw = actor.get();
+  actors_[raw->loid()] = std::move(actor);
+  return raw;
+}
+
+Actor* SimKernel::FindActor(const Loid& loid) const {
+  auto it = actors_.find(loid);
+  return it == actors_.end() ? nullptr : it->second.get();
+}
+
+void SimKernel::RemoveActor(const Loid& loid) { actors_.erase(loid); }
+
+bool SimKernel::Send(const Loid& from, const Loid& to, std::size_t bytes,
+                     std::function<void()> fn) {
+  ++stats_.messages_sent;
+  stats_.bytes_sent += bytes;
+  auto latency = network_.Latency(from, to, bytes, now_);
+  if (!latency) {
+    ++stats_.messages_dropped;
+    return false;
+  }
+  ScheduleAfter(*latency, std::move(fn));
+  return true;
+}
+
+}  // namespace legion

@@ -1,0 +1,194 @@
+// The discrete-event simulation kernel.
+//
+// Every Legion object in the reproduction is an actor whose method
+// invocations travel as messages through the NetworkModel.  The kernel
+// owns the virtual clock and the event queue, routes messages, implements
+// the asynchronous RPC pattern used throughout the RMI (Scheduler ->
+// Collection queries, Enactor -> Host reservation calls, Class ->
+// Host StartObject, Monitor outcalls), and keeps global statistics that
+// the benchmark harnesses report (message counts, RPC timeouts).
+//
+// The kernel is deliberately single-threaded and deterministic: given the
+// same seed and workload, every experiment reproduces exactly.  Components
+// that are useful outside the kernel (the Collection's query engine) have
+// their own internal synchronization for multi-threaded callers.
+#pragma once
+
+#include <cassert>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "base/loid.h"
+#include "base/result.h"
+#include "base/sim_time.h"
+#include "sim/event_queue.h"
+#include "sim/network.h"
+
+namespace legion {
+
+class SimKernel;
+
+// Base class for simulated Legion entities addressable by LOID.
+class Actor {
+ public:
+  Actor(SimKernel* kernel, Loid loid) : kernel_(kernel), loid_(loid) {}
+  virtual ~Actor() = default;
+
+  Actor(const Actor&) = delete;
+  Actor& operator=(const Actor&) = delete;
+
+  const Loid& loid() const { return loid_; }
+  SimKernel* kernel() const { return kernel_; }
+
+  // Human-readable name for traces; defaults to the LOID.
+  virtual std::string DebugName() const { return loid_.ToString(); }
+
+ private:
+  SimKernel* kernel_;
+  Loid loid_;
+};
+
+template <typename T>
+using Callback = std::function<void(Result<T>)>;
+
+// Kernel-wide statistics, exposed to benchmarks.
+struct KernelStats {
+  std::uint64_t events_run = 0;
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_dropped = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t rpcs_started = 0;
+  std::uint64_t rpcs_completed = 0;
+  std::uint64_t rpcs_timed_out = 0;
+};
+
+class SimKernel {
+ public:
+  explicit SimKernel(NetworkParams net_params = {}, std::uint64_t seed = 1);
+
+  SimTime Now() const { return now_; }
+  NetworkModel& network() { return network_; }
+  LoidMinter& minter() { return minter_; }
+  const KernelStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = KernelStats{}; }
+
+  // ---- Event scheduling -------------------------------------------------
+  EventId ScheduleAt(SimTime when, EventQueue::EventFn fn);
+  EventId ScheduleAfter(Duration delay, EventQueue::EventFn fn);
+  bool Cancel(EventId id) { return queue_.Cancel(id); }
+
+  // Periodic timer; returns a handle that stops the timer when cancelled
+  // via CancelPeriodic.  The first firing is after `period`.
+  using PeriodicId = std::uint64_t;
+  PeriodicId SchedulePeriodic(Duration period, std::function<void()> fn);
+  void CancelPeriodic(PeriodicId id);
+
+  // ---- Running ----------------------------------------------------------
+  // Runs until the queue drains or `until`; returns events executed.
+  std::uint64_t RunUntil(SimTime until);
+  std::uint64_t Run() { return RunUntil(SimTime::Max()); }
+  std::uint64_t RunFor(Duration d) { return RunUntil(now_ + d); }
+  bool Idle() const { return queue_.empty(); }
+
+  // ---- Actor registry ---------------------------------------------------
+  // The kernel owns its actors; AddActor transfers ownership.
+  template <typename T, typename... Args>
+  T* AddActor(Args&&... args) {
+    auto actor = std::make_unique<T>(this, std::forward<Args>(args)...);
+    T* raw = actor.get();
+    actors_[raw->loid()] = std::move(actor);
+    return raw;
+  }
+  // Adopts an externally constructed actor (e.g. from an ObjectFactory).
+  Actor* AdoptActor(std::unique_ptr<Actor> actor);
+  Actor* FindActor(const Loid& loid) const;
+  void RemoveActor(const Loid& loid);
+  std::size_t actor_count() const { return actors_.size(); }
+
+  // ---- Messaging --------------------------------------------------------
+  // One-way message: runs `fn` at the receiver after network latency.
+  // Returns false if the network dropped it (fn never runs).
+  bool Send(const Loid& from, const Loid& to, std::size_t bytes,
+            std::function<void()> fn);
+
+  // Asynchronous RPC with timeout.  `invoke` is executed at the callee
+  // after request latency and is handed a reply callback; when the callee
+  // calls the reply callback the result is delivered back to the caller
+  // after reply latency.  If no reply lands before `timeout`, `done` gets
+  // ErrorCode::kTimeout (this also covers dropped messages).  `done` is
+  // invoked exactly once.
+  template <typename T>
+  void AsyncCall(const Loid& from, const Loid& to, std::size_t request_bytes,
+                 std::size_t reply_bytes, Duration timeout,
+                 std::function<void(Callback<T>)> invoke, Callback<T> done);
+
+ private:
+  SimTime now_;
+  EventQueue queue_;
+  NetworkModel network_;
+  LoidMinter minter_;
+  KernelStats stats_;
+  std::unordered_map<Loid, std::unique_ptr<Actor>> actors_;
+  std::unordered_map<PeriodicId, EventId> periodic_;
+  PeriodicId next_periodic_ = 1;
+
+  void RepeatPeriodic(PeriodicId id, Duration period,
+                      std::shared_ptr<std::function<void()>> fn);
+};
+
+template <typename T>
+void SimKernel::AsyncCall(const Loid& from, const Loid& to,
+                          std::size_t request_bytes, std::size_t reply_bytes,
+                          Duration timeout,
+                          std::function<void(Callback<T>)> invoke,
+                          Callback<T> done) {
+  ++stats_.rpcs_started;
+  // Shared completion record: whichever of {reply, timeout} fires first
+  // wins; the loser is suppressed.
+  struct Pending {
+    bool finished = false;
+    EventId timeout_event = kInvalidEventId;
+  };
+  auto pending = std::make_shared<Pending>();
+  auto finish = [this, pending, done = std::move(done)](Result<T> r) {
+    if (pending->finished) return;
+    pending->finished = true;
+    if (pending->timeout_event != kInvalidEventId) {
+      queue_.Cancel(pending->timeout_event);
+    }
+    if (r.ok()) {
+      ++stats_.rpcs_completed;
+    } else if (r.code() == ErrorCode::kTimeout) {
+      ++stats_.rpcs_timed_out;
+    } else {
+      ++stats_.rpcs_completed;
+    }
+    done(std::move(r));
+  };
+
+  if (timeout > Duration::Zero()) {
+    pending->timeout_event = ScheduleAt(now_ + timeout, [finish] {
+      finish(Status::Error(ErrorCode::kTimeout, "rpc timeout"));
+    });
+  }
+
+  // Reply path: callee invokes this; result crosses the network back.
+  Callback<T> reply_cb = [this, from, to, reply_bytes,
+                          finish](Result<T> r) mutable {
+    // The reply is itself a message and may be dropped; the timeout then
+    // fires at the caller.
+    Send(to, from, reply_bytes,
+         [finish, r = std::move(r)]() mutable { finish(std::move(r)); });
+  };
+
+  // Request path.
+  Send(from, to, request_bytes,
+       [invoke = std::move(invoke), reply_cb = std::move(reply_cb)]() mutable {
+         invoke(std::move(reply_cb));
+       });
+}
+
+}  // namespace legion

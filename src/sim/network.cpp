@@ -1,0 +1,114 @@
+#include "sim/network.h"
+
+#include <algorithm>
+
+namespace legion {
+
+NetworkModel::NetworkModel(NetworkParams params)
+    : params_(params), rng_(params.seed) {}
+
+void NetworkModel::RegisterEndpoint(const Loid& loid, DomainId domain) {
+  endpoints_[loid] = domain;
+}
+
+void NetworkModel::UnregisterEndpoint(const Loid& loid) {
+  endpoints_.erase(loid);
+}
+
+bool NetworkModel::HasEndpoint(const Loid& loid) const {
+  return endpoints_.count(loid) != 0;
+}
+
+std::optional<DomainId> NetworkModel::DomainOf(const Loid& loid) const {
+  auto it = endpoints_.find(loid);
+  if (it == endpoints_.end()) return std::nullopt;
+  return it->second;
+}
+
+Duration NetworkModel::ExpectedLatency(const Loid& from, const Loid& to,
+                                       std::size_t bytes) const {
+  auto from_it = endpoints_.find(from);
+  auto to_it = endpoints_.find(to);
+  if (from_it == endpoints_.end() || to_it == endpoints_.end() ||
+      from == to) {
+    return Duration::Zero();
+  }
+  const DomainId da = from_it->second;
+  const DomainId db = to_it->second;
+  const bool cross = da != db;
+  Duration base =
+      cross ? params_.inter_domain_latency : params_.intra_domain_latency;
+  if (cross) {
+    auto it = pair_latency_.find(PairKey(da, db));
+    if (it != pair_latency_.end()) base = it->second;
+  }
+  const double bandwidth = cross ? params_.inter_domain_bandwidth_bps
+                                 : params_.intra_domain_bandwidth_bps;
+  return base + Duration::Seconds(static_cast<double>(bytes) * 8.0 /
+                                  std::max(bandwidth, 1.0));
+}
+
+void NetworkModel::SetPairLatency(DomainId a, DomainId b, Duration latency) {
+  pair_latency_[PairKey(a, b)] = latency;
+}
+
+void NetworkModel::AddPartition(DomainId a, DomainId b, SimTime start,
+                                SimTime end) {
+  partitions_.push_back(Partition{a, b, start, end});
+}
+
+bool NetworkModel::Partitioned(DomainId a, DomainId b, SimTime now) const {
+  for (const auto& p : partitions_) {
+    bool matches = (p.a == a && p.b == b) || (p.a == b && p.b == a);
+    if (matches && now >= p.start && now < p.end) return true;
+  }
+  return false;
+}
+
+std::optional<Duration> NetworkModel::Latency(const Loid& from, const Loid& to,
+                                              std::size_t bytes, SimTime now) {
+  ++offered_;
+  auto from_it = endpoints_.find(from);
+  auto to_it = endpoints_.find(to);
+  // Unregistered endpoints (unit tests, co-located services) and
+  // self-sends are local: free and lossless.
+  if (from_it == endpoints_.end() || to_it == endpoints_.end() ||
+      from == to) {
+    return Duration::Zero();
+  }
+  DomainId da = from_it->second;
+  DomainId db = to_it->second;
+  bool cross = da != db;
+
+  if (cross && Partitioned(da, db, now)) {
+    ++partitioned_;
+    return std::nullopt;
+  }
+  double loss =
+      cross ? params_.inter_domain_loss : params_.intra_domain_loss;
+  if (loss > 0.0 && rng_.Bernoulli(loss)) {
+    ++lost_;
+    return std::nullopt;
+  }
+
+  Duration base = cross ? params_.inter_domain_latency
+                        : params_.intra_domain_latency;
+  if (cross) {
+    auto it = pair_latency_.find(PairKey(da, db));
+    if (it != pair_latency_.end()) base = it->second;
+  }
+  double bandwidth = cross ? params_.inter_domain_bandwidth_bps
+                           : params_.intra_domain_bandwidth_bps;
+  Duration transfer = Duration::Seconds(
+      static_cast<double>(bytes) * 8.0 / std::max(bandwidth, 1.0));
+  Duration jitter = Duration::Zero();
+  if (params_.jitter_fraction > 0.0) {
+    jitter = base * rng_.Uniform(-params_.jitter_fraction,
+                                 params_.jitter_fraction);
+  }
+  Duration total = base + transfer + jitter;
+  if (total < Duration::Zero()) total = Duration::Zero();
+  return total;
+}
+
+}  // namespace legion

@@ -1,0 +1,73 @@
+#include "workload/app_model.h"
+
+namespace legion {
+
+ApplicationSpec MakeBagOfTasks(std::size_t tasks, double mean_work_mips_s,
+                               Rng& rng) {
+  ApplicationSpec spec;
+  spec.name = "bag-of-tasks";
+  spec.instances = tasks;
+  spec.iterations = 1;
+  spec.work.reserve(tasks);
+  for (std::size_t i = 0; i < tasks; ++i) {
+    // Bounded Pareto: heavy tail without the occasional absurd outlier.
+    double w = rng.Pareto(mean_work_mips_s * 0.4, 1.5);
+    if (w > mean_work_mips_s * 20.0) w = mean_work_mips_s * 20.0;
+    spec.work.push_back(w);
+  }
+  return spec;
+}
+
+ApplicationSpec MakeParameterStudy(std::size_t points,
+                                   double work_mips_s_per_point) {
+  ApplicationSpec spec;
+  spec.name = "parameter-study";
+  spec.instances = points;
+  spec.iterations = 1;
+  spec.work.assign(points, work_mips_s_per_point);
+  return spec;
+}
+
+ApplicationSpec MakeStencil2D(std::size_t rows, std::size_t cols,
+                              double work_mips_s_per_cell,
+                              std::size_t halo_bytes,
+                              std::size_t iterations) {
+  ApplicationSpec spec;
+  spec.name = "stencil2d";
+  spec.instances = rows * cols;
+  spec.iterations = iterations;
+  spec.work.assign(spec.instances, work_mips_s_per_cell);
+  auto cell = [cols](std::size_t r, std::size_t c) { return r * cols + c; };
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (r + 1 < rows) {
+        spec.edges.push_back({cell(r, c), cell(r + 1, c), halo_bytes});
+        spec.edges.push_back({cell(r + 1, c), cell(r, c), halo_bytes});
+      }
+      if (c + 1 < cols) {
+        spec.edges.push_back({cell(r, c), cell(r, c + 1), halo_bytes});
+        spec.edges.push_back({cell(r, c + 1), cell(r, c), halo_bytes});
+      }
+    }
+  }
+  return spec;
+}
+
+ApplicationSpec MakeMasterWorker(std::size_t workers,
+                                 double work_mips_s_per_worker,
+                                 std::size_t message_bytes,
+                                 std::size_t iterations) {
+  ApplicationSpec spec;
+  spec.name = "master-worker";
+  spec.instances = workers + 1;
+  spec.iterations = iterations;
+  spec.work.assign(spec.instances, work_mips_s_per_worker);
+  spec.work[0] = work_mips_s_per_worker * 0.1;  // the master mostly waits
+  for (std::size_t w = 1; w <= workers; ++w) {
+    spec.edges.push_back({0, w, message_bytes});
+    spec.edges.push_back({w, 0, message_bytes});
+  }
+  return spec;
+}
+
+}  // namespace legion

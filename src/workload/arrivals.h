@@ -1,0 +1,26 @@
+// Arrival processes for contention experiments.
+#pragma once
+
+#include <vector>
+
+#include "base/rng.h"
+#include "base/sim_time.h"
+
+namespace legion {
+
+// Poisson arrivals at `rate_per_second` over [start, start + horizon).
+inline std::vector<SimTime> PoissonArrivals(Rng& rng, double rate_per_second,
+                                            SimTime start, Duration horizon) {
+  std::vector<SimTime> arrivals;
+  if (rate_per_second <= 0.0) return arrivals;
+  SimTime t = start;
+  const SimTime end = start + horizon;
+  while (true) {
+    t = t + Duration::Seconds(rng.Exponential(1.0 / rate_per_second));
+    if (t >= end) break;
+    arrivals.push_back(t);
+  }
+  return arrivals;
+}
+
+}  // namespace legion

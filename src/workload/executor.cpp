@@ -1,0 +1,82 @@
+#include "workload/executor.h"
+
+#include <algorithm>
+
+#include "resources/host_object.h"
+
+namespace legion {
+
+std::vector<Loid> HostsOfMappings(const std::vector<ObjectMapping>& mappings) {
+  std::vector<Loid> hosts;
+  hosts.reserve(mappings.size());
+  for (const ObjectMapping& mapping : mappings) hosts.push_back(mapping.host);
+  return hosts;
+}
+
+MakespanBreakdown EstimateMakespan(SimKernel& kernel,
+                                   const ApplicationSpec& app,
+                                   const std::vector<Loid>& instance_hosts) {
+  MakespanBreakdown breakdown;
+  if (instance_hosts.size() != app.instances || app.instances == 0) {
+    return breakdown;
+  }
+
+  // Per-instance effective compute rate and cost.
+  std::vector<double> rate(app.instances, 1.0);
+  for (std::size_t i = 0; i < app.instances; ++i) {
+    auto* host =
+        dynamic_cast<HostObject*>(kernel.FindActor(instance_hosts[i]));
+    if (host == nullptr) continue;
+    rate[i] = std::max(host->EffectiveSpeedPerObject(), 1e-6);
+    breakdown.max_host_load = std::max(breakdown.max_host_load,
+                                       host->CurrentLoad());
+    const double seconds =
+        app.work[i] / rate[i] * static_cast<double>(app.iterations);
+    breakdown.dollars += host->spec().cost_per_cpu_second * seconds;
+  }
+
+  // Per-iteration compute phase per instance.
+  std::vector<double> compute_s(app.instances);
+  for (std::size_t i = 0; i < app.instances; ++i) {
+    compute_s[i] = app.work[i] / rate[i];
+  }
+
+  // Per-iteration communication phase per instance: its incident halo
+  // transfers serialize through the node's network interface, so the
+  // phase is the *sum* of the expected edge latencies (co-located
+  // neighbours cost nothing).
+  std::vector<double> comm_s(app.instances, 0.0);
+  for (const CommEdge& edge : app.edges) {
+    ++breakdown.total_edges;
+    const Loid& from = instance_hosts[edge.from];
+    const Loid& to = instance_hosts[edge.to];
+    if (from == to) continue;  // same host: shared memory
+    const Duration latency =
+        kernel.network().ExpectedLatency(from, to, edge.bytes);
+    const double seconds = latency.seconds();
+    comm_s[edge.from] += seconds;
+    comm_s[edge.to] += seconds;
+    auto domain_from = kernel.network().DomainOf(from);
+    auto domain_to = kernel.network().DomainOf(to);
+    if (domain_from.has_value() && domain_to.has_value() &&
+        *domain_from != *domain_to) {
+      ++breakdown.inter_domain_edges;
+    }
+  }
+  // BSP barrier: the iteration lasts as long as its slowest instance.
+  double iteration_s = 0.0;
+  double max_compute = 0.0;
+  double max_comm = 0.0;
+  for (std::size_t i = 0; i < app.instances; ++i) {
+    iteration_s = std::max(iteration_s, compute_s[i] + comm_s[i]);
+    max_compute = std::max(max_compute, compute_s[i]);
+    max_comm = std::max(max_comm, comm_s[i]);
+  }
+  const double iterations = static_cast<double>(app.iterations);
+  breakdown.makespan = Duration::Seconds(iteration_s * iterations);
+  breakdown.compute_time = Duration::Seconds(max_compute * iterations);
+  breakdown.comm_time = Duration::Seconds(max_comm * iterations);
+  return breakdown;
+}
+
+}  // namespace legion

@@ -1,0 +1,47 @@
+// Analytic BSP makespan estimator.
+//
+// Given an application model and the hosts its instances landed on, the
+// estimator computes the makespan under a bulk-synchronous view: each
+// iteration, every instance computes (work / effective host speed, which
+// accounts for the host's background load and every co-resident object)
+// and then exchanges halos with its neighbours (each off-host transfer
+// pays expected network latency incl. the bandwidth-limited term, and an
+// instance's transfers serialize through its network interface), and a
+// barrier closes the iteration.
+//
+// This is the measurement stage the paper's evaluation would have used a
+// real testbed for: it turns a *placement* into a *completion time*, so
+// benchmarks can compare schedulers (experiment E1) by the quantity
+// users actually care about.
+#pragma once
+
+#include <vector>
+
+#include "core/schedule.h"
+#include "sim/kernel.h"
+#include "workload/app_model.h"
+
+namespace legion {
+
+struct MakespanBreakdown {
+  Duration makespan;
+  Duration compute_time;       // dominant compute path
+  Duration comm_time;          // dominant communication path
+  std::size_t inter_domain_edges = 0;
+  std::size_t total_edges = 0;
+  double dollars = 0.0;        // cost across all instances
+  double max_host_load = 0.0;  // hottest host after placement
+};
+
+// Extracts the per-instance host LOIDs from enacted mappings (instance
+// order == mapping order == row-major for Stencil2D).
+std::vector<Loid> HostsOfMappings(const std::vector<ObjectMapping>& mappings);
+
+// Estimates the makespan of `app` with instance i on instance_hosts[i].
+// Host speeds reflect the hosts' *current* running sets, so call this
+// after enactment.
+MakespanBreakdown EstimateMakespan(SimKernel& kernel,
+                                   const ApplicationSpec& app,
+                                   const std::vector<Loid>& instance_hosts);
+
+}  // namespace legion

@@ -1,0 +1,129 @@
+#include "base/attributes.h"
+
+#include <gtest/gtest.h>
+
+namespace legion {
+namespace {
+
+TEST(AttrValueTest, TypePredicates) {
+  EXPECT_TRUE(AttrValue().is_null());
+  EXPECT_TRUE(AttrValue(true).is_bool());
+  EXPECT_TRUE(AttrValue(std::int64_t{5}).is_int());
+  EXPECT_TRUE(AttrValue(5).is_int());
+  EXPECT_TRUE(AttrValue(2.5).is_double());
+  EXPECT_TRUE(AttrValue("hi").is_string());
+  EXPECT_TRUE(AttrValue(AttrList{AttrValue(1)}).is_list());
+  EXPECT_TRUE(AttrValue(5).is_numeric());
+  EXPECT_TRUE(AttrValue(5.0).is_numeric());
+  EXPECT_FALSE(AttrValue("5").is_numeric());
+}
+
+TEST(AttrValueTest, NumericEqualityCrossesIntDouble) {
+  EXPECT_EQ(AttrValue(5), AttrValue(5.0));
+  EXPECT_EQ(AttrValue(5.0), AttrValue(5));
+  EXPECT_NE(AttrValue(5), AttrValue(5.5));
+  EXPECT_NE(AttrValue(5), AttrValue("5"));
+}
+
+TEST(AttrValueTest, Truthiness) {
+  EXPECT_FALSE(AttrValue().Truthy());
+  EXPECT_FALSE(AttrValue(false).Truthy());
+  EXPECT_TRUE(AttrValue(true).Truthy());
+  EXPECT_FALSE(AttrValue(0).Truthy());
+  EXPECT_TRUE(AttrValue(-1).Truthy());
+  EXPECT_FALSE(AttrValue(0.0).Truthy());
+  EXPECT_TRUE(AttrValue(0.1).Truthy());
+  EXPECT_FALSE(AttrValue("").Truthy());
+  EXPECT_TRUE(AttrValue("x").Truthy());
+  EXPECT_FALSE(AttrValue(AttrList{}).Truthy());
+  EXPECT_TRUE(AttrValue(AttrList{AttrValue(0)}).Truthy());
+}
+
+TEST(AttrValueTest, CompareNumbers) {
+  EXPECT_EQ(CompareAttrValues(AttrValue(1), AttrValue(2)), -1);
+  EXPECT_EQ(CompareAttrValues(AttrValue(2), AttrValue(1)), 1);
+  EXPECT_EQ(CompareAttrValues(AttrValue(2), AttrValue(2)), 0);
+  EXPECT_EQ(CompareAttrValues(AttrValue(1.5), AttrValue(2)), -1);
+  EXPECT_EQ(CompareAttrValues(AttrValue(2), AttrValue(1.5)), 1);
+}
+
+TEST(AttrValueTest, CompareStrings) {
+  EXPECT_EQ(CompareAttrValues(AttrValue("a"), AttrValue("b")), -1);
+  EXPECT_EQ(CompareAttrValues(AttrValue("b"), AttrValue("a")), 1);
+  EXPECT_EQ(CompareAttrValues(AttrValue("a"), AttrValue("a")), 0);
+}
+
+TEST(AttrValueTest, CompareIncomparableIsNullopt) {
+  EXPECT_FALSE(CompareAttrValues(AttrValue("a"), AttrValue(1)).has_value());
+  EXPECT_FALSE(CompareAttrValues(AttrValue(), AttrValue(1)).has_value());
+  EXPECT_FALSE(
+      CompareAttrValues(AttrValue(AttrList{}), AttrValue(1)).has_value());
+}
+
+TEST(AttrValueTest, ToStringRendering) {
+  EXPECT_EQ(AttrValue().ToString(), "null");
+  EXPECT_EQ(AttrValue(true).ToString(), "true");
+  EXPECT_EQ(AttrValue(42).ToString(), "42");
+  EXPECT_EQ(AttrValue("hi").ToString(), "\"hi\"");
+  EXPECT_EQ(AttrValue(AttrList{AttrValue(1), AttrValue("a")}).ToString(),
+            "[1, \"a\"]");
+}
+
+TEST(AttributeDatabaseTest, SetGetErase) {
+  AttributeDatabase db;
+  EXPECT_TRUE(db.empty());
+  db.Set("load", 0.5);
+  ASSERT_NE(db.Get("load"), nullptr);
+  EXPECT_EQ(db.Get("load")->as_double(), 0.5);
+  EXPECT_EQ(db.Get("missing"), nullptr);
+  EXPECT_TRUE(db.Has("load"));
+  EXPECT_TRUE(db.Erase("load"));
+  EXPECT_FALSE(db.Erase("load"));
+  EXPECT_FALSE(db.Has("load"));
+}
+
+TEST(AttributeDatabaseTest, GetOrFallsBack) {
+  AttributeDatabase db;
+  db.Set("x", 1);
+  EXPECT_EQ(db.GetOr("x", AttrValue(9)).as_int(), 1);
+  EXPECT_EQ(db.GetOr("y", AttrValue(9)).as_int(), 9);
+}
+
+TEST(AttributeDatabaseTest, VersionBumpsOnEveryMutation) {
+  AttributeDatabase db;
+  const auto v0 = db.version();
+  db.Set("a", 1);
+  const auto v1 = db.version();
+  EXPECT_GT(v1, v0);
+  db.Set("a", 2);  // overwrite still counts
+  const auto v2 = db.version();
+  EXPECT_GT(v2, v1);
+  db.Erase("a");
+  EXPECT_GT(db.version(), v2);
+}
+
+TEST(AttributeDatabaseTest, MergeFromOverwrites) {
+  AttributeDatabase a, b;
+  a.Set("x", 1);
+  a.Set("y", 1);
+  b.Set("y", 2);
+  b.Set("z", 3);
+  a.MergeFrom(b);
+  EXPECT_EQ(a.Get("x")->as_int(), 1);
+  EXPECT_EQ(a.Get("y")->as_int(), 2);
+  EXPECT_EQ(a.Get("z")->as_int(), 3);
+  EXPECT_EQ(a.size(), 3u);
+}
+
+TEST(AttributeDatabaseTest, IterationIsSortedByName) {
+  AttributeDatabase db;
+  db.Set("zeta", 1);
+  db.Set("alpha", 2);
+  db.Set("mid", 3);
+  std::vector<std::string> names;
+  for (const auto& [name, value] : db) names.push_back(name);
+  EXPECT_EQ(names, (std::vector<std::string>{"alpha", "mid", "zeta"}));
+}
+
+}  // namespace
+}  // namespace legion

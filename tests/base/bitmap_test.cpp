@@ -1,0 +1,113 @@
+#include "base/bitmap.h"
+
+#include <gtest/gtest.h>
+
+namespace legion {
+namespace {
+
+TEST(BitmapTest, StartsClear) {
+  Bitmap b(100);
+  EXPECT_EQ(b.size(), 100u);
+  EXPECT_EQ(b.Count(), 0u);
+  EXPECT_TRUE(b.None());
+  EXPECT_FALSE(b.Any());
+  for (std::size_t i = 0; i < 100; ++i) EXPECT_FALSE(b.Test(i));
+}
+
+TEST(BitmapTest, SetClearAssign) {
+  Bitmap b(70);
+  b.Set(0);
+  b.Set(63);
+  b.Set(64);
+  b.Set(69);
+  EXPECT_TRUE(b.Test(0));
+  EXPECT_TRUE(b.Test(63));
+  EXPECT_TRUE(b.Test(64));
+  EXPECT_TRUE(b.Test(69));
+  EXPECT_EQ(b.Count(), 4u);
+  b.Clear(63);
+  EXPECT_FALSE(b.Test(63));
+  b.Assign(1, true);
+  b.Assign(0, false);
+  EXPECT_TRUE(b.Test(1));
+  EXPECT_FALSE(b.Test(0));
+}
+
+TEST(BitmapTest, FindFirst) {
+  Bitmap b(130);
+  EXPECT_EQ(b.FindFirst(), 130u);
+  b.Set(128);
+  EXPECT_EQ(b.FindFirst(), 128u);
+  b.Set(5);
+  EXPECT_EQ(b.FindFirst(), 5u);
+}
+
+TEST(BitmapTest, Intersects) {
+  Bitmap a(64), b(64);
+  a.Set(10);
+  b.Set(11);
+  EXPECT_FALSE(a.Intersects(b));
+  b.Set(10);
+  EXPECT_TRUE(a.Intersects(b));
+}
+
+TEST(BitmapTest, CoversSemantics) {
+  Bitmap big(10), small(10);
+  big.Set(1);
+  big.Set(3);
+  big.Set(5);
+  small.Set(3);
+  EXPECT_TRUE(big.Covers(small));
+  EXPECT_FALSE(small.Covers(big));
+  small.Set(7);
+  EXPECT_FALSE(big.Covers(small));
+  // Everything covers the empty bitmap.
+  EXPECT_TRUE(big.Covers(Bitmap(10)));
+  EXPECT_TRUE(Bitmap(10).Covers(Bitmap(10)));
+}
+
+TEST(BitmapTest, EqualityAndToString) {
+  Bitmap a(4), b(4);
+  a.Set(1);
+  EXPECT_NE(a, b);
+  b.Set(1);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.ToString(), "0100");
+}
+
+TEST(BitmapTest, ResizeClears) {
+  Bitmap b(8);
+  b.Set(3);
+  b.Resize(16);
+  EXPECT_EQ(b.size(), 16u);
+  EXPECT_EQ(b.Count(), 0u);
+}
+
+// The variant-selection property the Enactor relies on: a variant bitmap
+// covering the failed set can always be found by linear scan, and
+// Covers == all failed bits are replaced.
+TEST(BitmapTest, VariantCoverageScan) {
+  const std::size_t n = 12;
+  std::vector<Bitmap> variants;
+  for (std::size_t i = 0; i < n; ++i) {
+    Bitmap v(n);
+    v.Set(i);
+    v.Set((i + 1) % n);
+    variants.push_back(v);
+  }
+  Bitmap failed(n);
+  failed.Set(4);
+  failed.Set(5);
+  std::size_t found = variants.size();
+  for (std::size_t i = 0; i < variants.size(); ++i) {
+    if (variants[i].Covers(failed)) {
+      found = i;
+      break;
+    }
+  }
+  ASSERT_LT(found, variants.size());
+  EXPECT_EQ(found, 4u);  // variant 4 covers bits {4,5}
+}
+
+}  // namespace
+}  // namespace legion

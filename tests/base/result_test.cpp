@@ -1,0 +1,73 @@
+#include "base/result.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace legion {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), ErrorCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::Error(ErrorCode::kNoResources, "out of CPUs");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), ErrorCode::kNoResources);
+  EXPECT_EQ(s.message(), "out of CPUs");
+  EXPECT_EQ(s.ToString(), "NO_RESOURCES: out of CPUs");
+}
+
+TEST(StatusTest, EveryCodeHasAName) {
+  for (auto code :
+       {ErrorCode::kOk, ErrorCode::kNoResources, ErrorCode::kMalformedSchedule,
+        ErrorCode::kRefused, ErrorCode::kInvalidToken, ErrorCode::kExpired,
+        ErrorCode::kNotFound, ErrorCode::kTimeout, ErrorCode::kUnavailable,
+        ErrorCode::kAlreadyExists, ErrorCode::kInvalidArgument,
+        ErrorCode::kInternal}) {
+    EXPECT_STRNE(ToString(code), "UNKNOWN");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.code(), ErrorCode::kOk);
+  EXPECT_EQ(r.value_or(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(ErrorCode::kTimeout, "too slow");
+  EXPECT_FALSE(r.ok());
+  EXPECT_FALSE(static_cast<bool>(r));
+  EXPECT_EQ(r.code(), ErrorCode::kTimeout);
+  EXPECT_EQ(r.status().message(), "too slow");
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+TEST(ResultTest, MoveOnlyValueWorks) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(5));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> taken = std::move(*r);
+  EXPECT_EQ(*taken, 5);
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> r(std::string("hello"));
+  EXPECT_EQ(r->size(), 5u);
+}
+
+TEST(ResultTest, StatusConversionPreservesCode) {
+  Status s = Status::Error(ErrorCode::kRefused, "policy");
+  Result<double> r(s);
+  EXPECT_EQ(r.code(), ErrorCode::kRefused);
+  EXPECT_EQ(r.status().message(), "policy");
+}
+
+}  // namespace
+}  // namespace legion

@@ -1,0 +1,69 @@
+#include "base/sim_time.h"
+
+#include <gtest/gtest.h>
+
+namespace legion {
+namespace {
+
+TEST(DurationTest, Constructors) {
+  EXPECT_EQ(Duration::Micros(5).micros(), 5);
+  EXPECT_EQ(Duration::Millis(5).micros(), 5000);
+  EXPECT_EQ(Duration::Seconds(1.5).micros(), 1500000);
+  EXPECT_EQ(Duration::Minutes(2).micros(), 120000000);
+  EXPECT_EQ(Duration::Hours(1).micros(), 3600000000LL);
+  EXPECT_TRUE(Duration::Zero().is_zero());
+}
+
+TEST(DurationTest, Arithmetic) {
+  const Duration a = Duration::Seconds(2);
+  const Duration b = Duration::Seconds(0.5);
+  EXPECT_EQ((a + b).seconds(), 2.5);
+  EXPECT_EQ((a - b).seconds(), 1.5);
+  EXPECT_EQ((a * 2.0).seconds(), 4.0);
+  EXPECT_EQ((2.0 * a).seconds(), 4.0);
+  EXPECT_EQ((a / 4.0).seconds(), 0.5);
+  Duration c = a;
+  c += b;
+  EXPECT_EQ(c.seconds(), 2.5);
+}
+
+TEST(DurationTest, Comparisons) {
+  EXPECT_LT(Duration::Millis(1), Duration::Millis(2));
+  EXPECT_LE(Duration::Millis(2), Duration::Millis(2));
+  EXPECT_GT(Duration::Seconds(1), Duration::Millis(999));
+  EXPECT_EQ(Duration::Seconds(1), Duration::Millis(1000));
+}
+
+TEST(DurationTest, UnitConversions) {
+  const Duration d = Duration::Micros(2500000);
+  EXPECT_DOUBLE_EQ(d.seconds(), 2.5);
+  EXPECT_DOUBLE_EQ(d.millis(), 2500.0);
+}
+
+TEST(SimTimeTest, PointArithmetic) {
+  const SimTime t0 = SimTime::Zero();
+  const SimTime t1 = t0 + Duration::Seconds(10);
+  EXPECT_EQ(t1.micros(), 10000000);
+  EXPECT_EQ((t1 - t0).seconds(), 10.0);
+  EXPECT_EQ((t1 - Duration::Seconds(4)).micros(), 6000000);
+  EXPECT_LT(t0, t1);
+  EXPECT_GT(SimTime::Max(), t1);
+}
+
+TEST(SimTimeTest, NegativeDurationsBehave) {
+  const Duration d = Duration::Seconds(1) - Duration::Seconds(3);
+  EXPECT_EQ(d.seconds(), -2.0);
+  EXPECT_LT(d, Duration::Zero());
+}
+
+TEST(SimTimeTest, ToStringForms) {
+  EXPECT_EQ(Duration::Millis(5).ToString(), "5000us");
+  EXPECT_EQ(SimTime(42).ToString(), "t=42us");
+}
+
+TEST(DurationTest, InfiniteIsHuge) {
+  EXPECT_GT(Duration::Infinite(), Duration::Hours(24 * 365 * 100));
+}
+
+}  // namespace
+}  // namespace legion

@@ -1,0 +1,107 @@
+#include "base/token.h"
+
+#include <gtest/gtest.h>
+
+namespace legion {
+namespace {
+
+Loid HostLoid() { return Loid(LoidSpace::kHost, 1, 10); }
+Loid VaultLoid() { return Loid(LoidSpace::kVault, 1, 20); }
+
+TEST(ReservationTypeTest, TableTwoCombinations) {
+  // Table 2: the four reservation types from the two bits.
+  EXPECT_EQ(ReservationType::OneShotSpaceSharing().bits(), 0);
+  EXPECT_EQ(ReservationType::ReusableSpaceSharing().bits(), 2);
+  EXPECT_EQ(ReservationType::OneShotTimesharing().bits(), 1);
+  EXPECT_EQ(ReservationType::ReusableTimesharing().bits(), 3);
+}
+
+TEST(ReservationTypeTest, PaperNamings) {
+  EXPECT_EQ(ReservationType::OneShotSpaceSharing().ToString(),
+            "one-shot space sharing");
+  EXPECT_EQ(ReservationType::ReusableSpaceSharing().ToString(),
+            "reusable space sharing");
+  EXPECT_EQ(ReservationType::OneShotTimesharing().ToString(),
+            "one-shot timesharing");
+  EXPECT_EQ(ReservationType::ReusableTimesharing().ToString(),
+            "reusable timesharing");
+}
+
+TEST(TokenAuthorityTest, IssuedTokenVerifies) {
+  TokenAuthority authority(42);
+  ReservationToken token = authority.Issue(
+      HostLoid(), VaultLoid(), SimTime(1000), Duration::Hours(1),
+      Duration::Minutes(5), ReservationType::OneShotTimesharing());
+  EXPECT_TRUE(token.valid());
+  EXPECT_EQ(token.host, HostLoid());
+  EXPECT_EQ(token.vault, VaultLoid());
+  EXPECT_TRUE(authority.Verify(token));
+}
+
+TEST(TokenAuthorityTest, SerialsAreUnique) {
+  TokenAuthority authority(42);
+  auto t1 = authority.Issue(HostLoid(), VaultLoid(), SimTime(0),
+                            Duration::Hours(1), Duration::Zero(),
+                            ReservationType::OneShotTimesharing());
+  auto t2 = authority.Issue(HostLoid(), VaultLoid(), SimTime(0),
+                            Duration::Hours(1), Duration::Zero(),
+                            ReservationType::OneShotTimesharing());
+  EXPECT_NE(t1.serial, t2.serial);
+}
+
+TEST(TokenAuthorityTest, TamperedFieldsFailVerification) {
+  // Non-forgeability: flipping any encoded field invalidates the MAC.
+  TokenAuthority authority(42);
+  const ReservationToken original = authority.Issue(
+      HostLoid(), VaultLoid(), SimTime(1000), Duration::Hours(1),
+      Duration::Minutes(5), ReservationType::OneShotTimesharing());
+
+  ReservationToken t = original;
+  t.vault = Loid(LoidSpace::kVault, 1, 99);
+  EXPECT_FALSE(authority.Verify(t));
+
+  t = original;
+  t.start = SimTime(2000);
+  EXPECT_FALSE(authority.Verify(t));
+
+  t = original;
+  t.duration = Duration::Hours(2);
+  EXPECT_FALSE(authority.Verify(t));
+
+  t = original;
+  t.type = ReservationType::ReusableTimesharing();
+  EXPECT_FALSE(authority.Verify(t));
+
+  t = original;
+  t.serial += 1;
+  EXPECT_FALSE(authority.Verify(t));
+}
+
+TEST(TokenAuthorityTest, OtherAuthorityCannotForge) {
+  // Only the issuing host recognizes its tokens (paper 3.1).
+  TokenAuthority issuer(42);
+  TokenAuthority impostor(43);
+  ReservationToken forged = impostor.Issue(
+      HostLoid(), VaultLoid(), SimTime(0), Duration::Hours(1),
+      Duration::Zero(), ReservationType::OneShotTimesharing());
+  EXPECT_FALSE(issuer.Verify(forged));
+}
+
+TEST(TokenAuthorityTest, InvalidTokenNeverVerifies) {
+  TokenAuthority authority(42);
+  ReservationToken blank;
+  EXPECT_FALSE(blank.valid());
+  EXPECT_FALSE(authority.Verify(blank));
+}
+
+TEST(TokenTest, EqualityOnHostSerialMac) {
+  TokenAuthority authority(42);
+  auto t = authority.Issue(HostLoid(), VaultLoid(), SimTime(0),
+                           Duration::Hours(1), Duration::Zero(),
+                           ReservationType::ReusableTimesharing());
+  ReservationToken copy = t;
+  EXPECT_EQ(copy, t);
+}
+
+}  // namespace
+}  // namespace legion

@@ -1,0 +1,161 @@
+// Implementation-cache service objects (paper §2) and implementation
+// selection in schedules (§3.3 future work, implemented).
+#include "core/impl_cache.h"
+
+#include <gtest/gtest.h>
+
+#include "test_world.h"
+
+namespace legion {
+namespace {
+
+using testing::Await;
+using testing::TestWorld;
+
+class ImplCacheTest : public ::testing::Test {
+ protected:
+  ImplCacheTest() : world_() {
+    cache_ = world_.kernel.AddActor<ImplementationCacheObject>(
+        world_.kernel.minter().Mint(LoidSpace::kService, 0), /*domain=*/0);
+    klass_ = world_.MakeClass("app");
+  }
+
+  TestWorld world_;
+  ImplementationCacheObject* cache_;
+  ClassObject* klass_;
+};
+
+TEST_F(ImplCacheTest, MissThenHit) {
+  EXPECT_FALSE(cache_->Cached(klass_->loid(), "x86/Linux"));
+  Await<bool> first;
+  cache_->EnsureBinary(klass_->loid(), "x86/Linux", 1 << 20, first.Sink());
+  world_.Run();
+  ASSERT_TRUE(first.Ready());
+  EXPECT_TRUE(*first.Get());
+  EXPECT_TRUE(cache_->Cached(klass_->loid(), "x86/Linux"));
+  EXPECT_EQ(cache_->misses(), 1u);
+  // The second request is a hit and completes synchronously.
+  Await<bool> second;
+  cache_->EnsureBinary(klass_->loid(), "x86/Linux", 1 << 20, second.Sink());
+  EXPECT_TRUE(second.Ready());
+  EXPECT_EQ(cache_->hits(), 1u);
+  EXPECT_EQ(cache_->bytes_cached(), 1u << 20);
+}
+
+TEST_F(ImplCacheTest, ConcurrentMissesShareOnePull) {
+  Await<bool> a, b, c;
+  cache_->EnsureBinary(klass_->loid(), "x86/Linux", 1 << 20, a.Sink());
+  cache_->EnsureBinary(klass_->loid(), "x86/Linux", 1 << 20, b.Sink());
+  cache_->EnsureBinary(klass_->loid(), "x86/Linux", 1 << 20, c.Sink());
+  world_.Run();
+  EXPECT_TRUE(*a.Get());
+  EXPECT_TRUE(*b.Get());
+  EXPECT_TRUE(*c.Get());
+  EXPECT_EQ(cache_->misses(), 3u);       // three requests missed
+  EXPECT_EQ(cache_->cached_count(), 1u); // one pull, one entry
+}
+
+TEST_F(ImplCacheTest, DifferentImplementationsAreSeparateEntries) {
+  Await<bool> a, b;
+  cache_->EnsureBinary(klass_->loid(), "x86/Linux", 1 << 20, a.Sink());
+  cache_->EnsureBinary(klass_->loid(), "sparc/Solaris", 1 << 20, b.Sink());
+  world_.Run();
+  EXPECT_EQ(cache_->cached_count(), 2u);
+}
+
+TEST_F(ImplCacheTest, MissingClassFails) {
+  Await<bool> fetched;
+  cache_->EnsureBinary(Loid(LoidSpace::kClass, 0, 31337), "x86/Linux",
+                       1 << 20, fetched.Sink());
+  world_.Run();
+  ASSERT_TRUE(fetched.Ready());
+  EXPECT_FALSE(fetched.Get().ok() && *fetched.Get());
+  EXPECT_FALSE(cache_->Cached(Loid(LoidSpace::kClass, 0, 31337), "x86/Linux"));
+}
+
+TEST_F(ImplCacheTest, ColdStartSlowerThanWarmStart) {
+  world_.hosts[0]->SetImplementationCache(cache_->loid());
+  auto start_once = [&]() -> Duration {
+    StartObjectRequest request;
+    request.class_loid = klass_->loid();
+    request.instances.push_back(
+        world_.kernel.minter().Mint(LoidSpace::kObject, 0));
+    request.vault = world_.vaults[0]->loid();
+    request.memory_mb = 16;
+    request.cpu_fraction = 0.1;
+    request.implementation = "x86/Linux";
+    request.binary_bytes = 8 << 20;  // 8 MiB binary
+    request.factory = klass_->factory();
+    const SimTime begun = world_.kernel.Now();
+    SimTime finished = begun;
+    world_.hosts[0]->StartObject(request,
+                                 [&](Result<std::vector<Loid>> started) {
+                                   EXPECT_TRUE(started.ok());
+                                   finished = world_.kernel.Now();
+                                 });
+    world_.Run();
+    return finished - begun;
+  };
+  const Duration cold = start_once();
+  const Duration warm = start_once();
+  // The cold start shipped 8 MiB across the LAN; the warm one didn't.
+  EXPECT_GT(cold, warm + Duration::Millis(100));
+}
+
+TEST_F(ImplCacheTest, HostWithoutImplementationSkipsCache) {
+  world_.hosts[0]->SetImplementationCache(cache_->loid());
+  StartObjectRequest request;
+  request.class_loid = klass_->loid();
+  request.instances.push_back(
+      world_.kernel.minter().Mint(LoidSpace::kObject, 0));
+  request.vault = world_.vaults[0]->loid();
+  request.memory_mb = 16;
+  request.cpu_fraction = 0.1;
+  request.factory = klass_->factory();  // no implementation selected
+  Await<std::vector<Loid>> started;
+  world_.hosts[0]->StartObject(request, started.Sink());
+  world_.Run();
+  EXPECT_TRUE(started.Get().ok());
+  EXPECT_EQ(cache_->misses() + cache_->hits(), 0u);
+}
+
+// ---- Implementation selection (§3.3) ----------------------------------------
+
+TEST_F(ImplCacheTest, HostRefusesForeignImplementation) {
+  StartObjectRequest request;
+  request.class_loid = klass_->loid();
+  request.instances.push_back(
+      world_.kernel.minter().Mint(LoidSpace::kObject, 0));
+  request.vault = world_.vaults[0]->loid();
+  request.implementation = "sparc/Solaris";  // host is x86/Linux
+  request.factory = klass_->factory();
+  Await<std::vector<Loid>> started;
+  world_.hosts[0]->StartObject(request, started.Sink());
+  world_.Run();
+  EXPECT_EQ(started.Get().code(), ErrorCode::kRefused);
+}
+
+TEST_F(ImplCacheTest, ClassRejectsUnknownImplementation) {
+  PlacementSuggestion suggestion;
+  suggestion.host = world_.hosts[0]->loid();
+  suggestion.vault = world_.vaults[0]->loid();
+  suggestion.implementation = "vax/VMS";  // not among the class's impls
+  Await<Loid> placed;
+  klass_->CreateInstance(suggestion, placed.Sink());
+  world_.Run();
+  EXPECT_EQ(placed.Get().code(), ErrorCode::kInvalidArgument);
+}
+
+TEST_F(ImplCacheTest, MatchingImplementationAccepted) {
+  PlacementSuggestion suggestion;
+  suggestion.host = world_.hosts[0]->loid();
+  suggestion.vault = world_.vaults[0]->loid();
+  suggestion.implementation = "x86/Linux";
+  Await<Loid> placed;
+  klass_->CreateInstance(suggestion, placed.Sink());
+  world_.Run();
+  EXPECT_TRUE(placed.Get().ok());
+}
+
+}  // namespace
+}  // namespace legion

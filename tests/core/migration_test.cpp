@@ -1,0 +1,163 @@
+// Object migration (paper section 2.1): shutdown, move the OPR, restart
+// on another host.
+#include "core/migration.h"
+
+#include <gtest/gtest.h>
+
+#include "core/monitor.h"
+#include "test_world.h"
+
+namespace legion {
+namespace {
+
+using testing::Await;
+using testing::TestWorld;
+
+class MigrationTest : public ::testing::Test {
+ protected:
+  MigrationTest() : world_(testing::TestWorldConfig{.hosts = 3}) {
+    klass_ = world_.MakeClass("app", 64, 1.0);
+    agent_ = world_.kernel.minter().Mint(LoidSpace::kService, 0);
+  }
+
+  Loid PlaceOn(std::size_t host_index) {
+    PlacementSuggestion suggestion;
+    suggestion.host = world_.hosts[host_index]->loid();
+    suggestion.vault = world_.vaults[host_index]->loid();
+    Await<Loid> placed;
+    klass_->CreateInstance(suggestion, placed.Sink());
+    world_.Run();
+    EXPECT_TRUE(placed.Get().ok());
+    return *placed.Get();
+  }
+
+  TestWorld world_;
+  ClassObject* klass_;
+  Loid agent_;
+};
+
+TEST_F(MigrationTest, MovesObjectBetweenHostsAndVaults) {
+  const Loid object = PlaceOn(0);
+  EXPECT_EQ(world_.hosts[0]->running_count(), 1u);
+
+  Await<MigrationOutcome> outcome;
+  MigrateObject(&world_.kernel, agent_, object, world_.hosts[1]->loid(),
+                world_.vaults[1]->loid(), outcome.Sink());
+  world_.Run();
+  ASSERT_TRUE(outcome.Ready());
+  ASSERT_TRUE(outcome.Get().ok());
+  EXPECT_TRUE(outcome.Get()->success) << outcome.Get()->detail;
+  EXPECT_EQ(outcome.Get()->from_host, world_.hosts[0]->loid());
+  EXPECT_GT(outcome.Get()->elapsed, Duration::Zero());
+
+  auto* migrated =
+      dynamic_cast<LegionObject*>(world_.kernel.FindActor(object));
+  ASSERT_NE(migrated, nullptr);
+  EXPECT_TRUE(migrated->active());
+  EXPECT_EQ(migrated->host(), world_.hosts[1]->loid());
+  EXPECT_EQ(migrated->vault(), world_.vaults[1]->loid());
+  EXPECT_EQ(world_.hosts[0]->running_count(), 0u);
+  EXPECT_EQ(world_.hosts[1]->running_count(), 1u);
+  // The OPR moved: old vault empty, new vault holds it.
+  EXPECT_EQ(world_.vaults[0]->stored_count(), 0u);
+  EXPECT_EQ(world_.vaults[1]->stored_count(), 1u);
+}
+
+TEST_F(MigrationTest, PreservesObjectState) {
+  const Loid object = PlaceOn(0);
+  auto* legion_object =
+      dynamic_cast<LegionObject*>(world_.kernel.FindActor(object));
+  legion_object->mutable_attributes().Set("progress", 42);
+
+  Await<MigrationOutcome> outcome;
+  MigrateObject(&world_.kernel, agent_, object, world_.hosts[2]->loid(),
+                world_.vaults[2]->loid(), outcome.Sink());
+  world_.Run();
+  ASSERT_TRUE(outcome.Get()->success);
+  auto* migrated =
+      dynamic_cast<LegionObject*>(world_.kernel.FindActor(object));
+  EXPECT_EQ(migrated->attributes().Get("progress")->as_int(), 42);
+}
+
+TEST_F(MigrationTest, SameVaultSkipsTheCopy) {
+  // Hosts 0 and 1 can both reach vault 0?  Wire it so.
+  world_.hosts[1]->AddCompatibleVault(world_.vaults[0]->loid());
+  const Loid object = PlaceOn(0);
+  Await<MigrationOutcome> outcome;
+  MigrateObject(&world_.kernel, agent_, object, world_.hosts[1]->loid(),
+                world_.vaults[0]->loid(), outcome.Sink());
+  world_.Run();
+  ASSERT_TRUE(outcome.Get()->success);
+  EXPECT_EQ(world_.vaults[0]->stored_count(), 1u);  // OPR stays put
+  auto* migrated =
+      dynamic_cast<LegionObject*>(world_.kernel.FindActor(object));
+  EXPECT_EQ(migrated->host(), world_.hosts[1]->loid());
+}
+
+TEST_F(MigrationTest, InactiveObjectCannotMigrate) {
+  const Loid object = PlaceOn(0);
+  Await<bool> deactivated;
+  world_.hosts[0]->DeactivateObject(object, deactivated.Sink());
+  world_.Run();
+  ASSERT_TRUE(*deactivated.Get());
+  Await<MigrationOutcome> outcome;
+  MigrateObject(&world_.kernel, agent_, object, world_.hosts[1]->loid(),
+                world_.vaults[1]->loid(), outcome.Sink());
+  world_.Run();
+  EXPECT_FALSE(outcome.Get()->success);
+}
+
+TEST_F(MigrationTest, UnknownObjectFailsCleanly) {
+  Await<MigrationOutcome> outcome;
+  MigrateObject(&world_.kernel, agent_, Loid(LoidSpace::kObject, 0, 999),
+                world_.hosts[1]->loid(), world_.vaults[1]->loid(),
+                outcome.Sink());
+  world_.Run();
+  EXPECT_FALSE(outcome.Get()->success);
+}
+
+TEST_F(MigrationTest, TargetWithoutCapacityRefuses) {
+  // Fill host 1 completely, then try to migrate into it.
+  auto* hog = world_.MakeClass("hog", /*memory_mb=*/1000);
+  PlacementSuggestion suggestion;
+  suggestion.host = world_.hosts[1]->loid();
+  suggestion.vault = world_.vaults[1]->loid();
+  Await<Loid> hog_instance;
+  hog->CreateInstance(suggestion, hog_instance.Sink());
+  world_.Run();
+  ASSERT_TRUE(hog_instance.Get().ok());
+
+  const Loid object = PlaceOn(0);
+  Await<MigrationOutcome> outcome;
+  MigrateObject(&world_.kernel, agent_, object, world_.hosts[1]->loid(),
+                world_.vaults[1]->loid(), outcome.Sink());
+  world_.Run();
+  EXPECT_FALSE(outcome.Get()->success);
+}
+
+TEST_F(MigrationTest, MonitorDrivenMigrationOnLoadSpike) {
+  // The full steps-12-13 loop: trigger -> outcall -> monitor -> migrate.
+  auto* monitor = world_.kernel.AddActor<MonitorObject>(
+      world_.kernel.minter().Mint(LoidSpace::kService, 0));
+  const Loid object = PlaceOn(0);
+  monitor->WatchLoadThreshold(world_.hosts[0], 2.0);
+  bool migrated = false;
+  monitor->SetRescheduleHandler([&](const RgeEvent& event) {
+    // Reschedule: move our object off the hot host.
+    (void)event;
+    MigrateObject(&world_.kernel, monitor->loid(), object,
+                  world_.hosts[1]->loid(), world_.vaults[1]->loid(),
+                  [&](Result<MigrationOutcome> outcome) {
+                    migrated = outcome.ok() && outcome->success;
+                  });
+  });
+  world_.hosts[0]->SpikeLoad(3.0);
+  world_.Run();
+  EXPECT_TRUE(migrated);
+  auto* legion_object =
+      dynamic_cast<LegionObject*>(world_.kernel.FindActor(object));
+  EXPECT_EQ(legion_object->host(), world_.hosts[1]->loid());
+}
+
+}  // namespace
+}  // namespace legion

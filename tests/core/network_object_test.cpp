@@ -1,0 +1,133 @@
+// Network Objects (paper §6 future work, implemented).
+#include "core/network_object.h"
+
+#include <gtest/gtest.h>
+
+#include "test_world.h"
+
+namespace legion {
+namespace {
+
+using testing::Await;
+using testing::TestWorld;
+
+class NetworkObjectTest : public ::testing::Test {
+ protected:
+  NetworkObjectTest() {
+    testing::TestWorldConfig config;
+    config.hosts = 4;
+    config.domains = 2;
+    config.net.jitter_fraction = 0.0;
+    config.net.intra_domain_latency = Duration::Micros(300);
+    config.net.inter_domain_latency = Duration::Millis(40);
+    world_ = std::make_unique<TestWorld>(config);
+    net_ = world_->kernel.AddActor<NetworkObject>(
+        world_->kernel.minter().Mint(LoidSpace::kService, 0));
+    // One beacon per domain: hosts 0 (domain 0) and 1 (domain 1).
+    net_->AddBeacon(0, world_->hosts[0]->loid());
+    net_->AddBeacon(1, world_->hosts[1]->loid());
+  }
+
+  std::unique_ptr<TestWorld> world_;
+  NetworkObject* net_;
+};
+
+TEST_F(NetworkObjectTest, MeasuresInterDomainLatency) {
+  Await<std::size_t> probed;
+  net_->ProbeAll(probed.Sink());
+  world_->Run();
+  ASSERT_TRUE(probed.Ready());
+  EXPECT_EQ(*probed.Get(), 1u);
+  auto latency = net_->MeasuredLatency(0, 1);
+  ASSERT_TRUE(latency.has_value());
+  // The a->b leg crosses the WAN: ~40 ms (plus the small-message
+  // bandwidth term).
+  EXPECT_NEAR(latency->millis(), 40.0, 2.0);
+}
+
+TEST_F(NetworkObjectTest, SameDomainIsZeroAndUnmeasuredPairsEmpty) {
+  EXPECT_EQ(net_->MeasuredLatency(0, 0), Duration::Zero());
+  EXPECT_FALSE(net_->MeasuredLatency(0, 1).has_value());  // not probed yet
+  EXPECT_FALSE(net_->MeasuredLatency(1, 7).has_value());
+}
+
+TEST_F(NetworkObjectTest, OrderIndependentLookup) {
+  Await<std::size_t> probed;
+  net_->ProbeAll(probed.Sink());
+  world_->Run();
+  EXPECT_EQ(net_->MeasuredLatency(0, 1), net_->MeasuredLatency(1, 0));
+}
+
+TEST_F(NetworkObjectTest, PublishesMatrixIntoCollection) {
+  net_->AddCollection(world_->collection->loid());
+  Await<std::size_t> probed;
+  net_->ProbeAll(probed.Sink());
+  world_->Run();
+  auto records = world_->collection->QueryLocal(
+      "defined($net_latency_us_0_1)");
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 1u);
+  const std::int64_t us =
+      (*records)[0].attributes.Get("net_latency_us_0_1")->as_int();
+  EXPECT_NEAR(static_cast<double>(us) / 1000.0, 40.0, 2.0);
+  // The matrix is queryable like any other resource description.
+  auto fast = world_->collection->QueryLocal("$net_latency_us_0_1 < 10000");
+  EXPECT_TRUE(fast->empty());
+}
+
+TEST_F(NetworkObjectTest, PartitionLeavesPairUnmeasured) {
+  world_->kernel.network().AddPartition(
+      0, 1, world_->kernel.Now(), world_->kernel.Now() + Duration::Hours(1));
+  Await<std::size_t> probed;
+  net_->ProbeAll(probed.Sink());
+  world_->Run();
+  ASSERT_TRUE(probed.Ready());
+  EXPECT_EQ(*probed.Get(), 0u);
+  EXPECT_FALSE(net_->MeasuredLatency(0, 1).has_value());
+}
+
+TEST_F(NetworkObjectTest, PeriodicProbingRefreshes) {
+  net_->Start(Duration::Seconds(10));
+  world_->kernel.RunFor(Duration::Minutes(1));
+  net_->Stop();
+  // Drain the probe that may still be in flight from the last firing.
+  world_->kernel.RunFor(Duration::Seconds(2));
+  EXPECT_TRUE(net_->MeasuredLatency(0, 1).has_value());
+  const auto t1 =
+      net_->attributes().Get("net_probe_time")->as_int();
+  world_->kernel.RunFor(Duration::Minutes(1));
+  // Stopped: no further refresh.
+  EXPECT_EQ(net_->attributes().Get("net_probe_time")->as_int(), t1);
+}
+
+TEST_F(NetworkObjectTest, ThreeDomainsMeasureAllPairs) {
+  testing::TestWorldConfig config;
+  config.hosts = 3;
+  config.domains = 3;
+  config.net.jitter_fraction = 0.0;
+  TestWorld world(config);
+  auto* net = world.kernel.AddActor<NetworkObject>(
+      world.kernel.minter().Mint(LoidSpace::kService, 0));
+  for (std::size_t i = 0; i < 3; ++i) {
+    net->AddBeacon(static_cast<std::uint32_t>(i), world.hosts[i]->loid());
+  }
+  Await<std::size_t> probed;
+  net->ProbeAll(probed.Sink());
+  world.Run();
+  EXPECT_EQ(*probed.Get(), 3u);  // (0,1) (0,2) (1,2)
+  EXPECT_EQ(net->measurement_count(), 3u);
+}
+
+TEST_F(NetworkObjectTest, SingleBeaconMeasuresNothing) {
+  auto* lonely = world_->kernel.AddActor<NetworkObject>(
+      world_->kernel.minter().Mint(LoidSpace::kService, 0));
+  lonely->AddBeacon(0, world_->hosts[0]->loid());
+  Await<std::size_t> probed;
+  lonely->ProbeAll(probed.Sink());
+  world_->Run();
+  ASSERT_TRUE(probed.Ready());
+  EXPECT_EQ(*probed.Get(), 0u);
+}
+
+}  // namespace
+}  // namespace legion

@@ -1,0 +1,144 @@
+// Schedule data structures (paper figure 5).
+#include "core/schedule.h"
+
+#include <gtest/gtest.h>
+
+namespace legion {
+namespace {
+
+ObjectMapping Mapping(std::uint64_t klass, std::uint64_t host,
+                      std::uint64_t vault) {
+  ObjectMapping mapping;
+  mapping.class_loid = Loid(LoidSpace::kClass, 0, klass);
+  mapping.host = Loid(LoidSpace::kHost, 0, host);
+  mapping.vault = Loid(LoidSpace::kVault, 0, vault);
+  return mapping;
+}
+
+MasterSchedule SimpleMaster(std::size_t n) {
+  MasterSchedule master;
+  for (std::size_t i = 0; i < n; ++i) {
+    master.mappings.push_back(Mapping(1, 10 + i, 20 + i));
+  }
+  return master;
+}
+
+VariantSchedule Variant(std::size_t width,
+                        std::vector<std::pair<std::size_t, ObjectMapping>>
+                            mappings) {
+  VariantSchedule variant;
+  variant.replaces.Resize(width);
+  for (const auto& [index, mapping] : mappings) {
+    variant.replaces.Set(index);
+    variant.mappings.emplace_back(index, mapping);
+  }
+  return variant;
+}
+
+TEST(ScheduleTest, MappingEqualityAndToString) {
+  EXPECT_EQ(Mapping(1, 2, 3), Mapping(1, 2, 3));
+  EXPECT_FALSE(Mapping(1, 2, 3) == Mapping(1, 2, 4));
+  EXPECT_EQ(Mapping(1, 2, 3).ToString(),
+            "class:0/1 -> (host:0/2, vault:0/3)");
+}
+
+TEST(ScheduleTest, ValidMasterValidates) {
+  MasterSchedule master = SimpleMaster(3);
+  master.variants.push_back(Variant(3, {{1, Mapping(1, 99, 98)}}));
+  EXPECT_TRUE(master.Validate().ok());
+}
+
+TEST(ScheduleTest, EmptyMasterIsMalformed) {
+  MasterSchedule master;
+  EXPECT_EQ(master.Validate().code(), ErrorCode::kMalformedSchedule);
+}
+
+TEST(ScheduleTest, InvalidLoidIsMalformed) {
+  MasterSchedule master = SimpleMaster(2);
+  master.mappings[1].vault = Loid();
+  EXPECT_EQ(master.Validate().code(), ErrorCode::kMalformedSchedule);
+}
+
+TEST(ScheduleTest, VariantBitmapWidthMustMatch) {
+  MasterSchedule master = SimpleMaster(3);
+  master.variants.push_back(Variant(2, {{1, Mapping(1, 99, 98)}}));
+  EXPECT_EQ(master.Validate().code(), ErrorCode::kMalformedSchedule);
+}
+
+TEST(ScheduleTest, VariantIndexOutOfRangeIsMalformed) {
+  MasterSchedule master = SimpleMaster(2);
+  VariantSchedule bad;
+  bad.replaces.Resize(2);
+  bad.mappings.emplace_back(5, Mapping(1, 99, 98));
+  // Manually mis-set the bitmap so the population check passes.
+  bad.replaces.Set(0);
+  master.variants.push_back(bad);
+  EXPECT_EQ(master.Validate().code(), ErrorCode::kMalformedSchedule);
+}
+
+TEST(ScheduleTest, VariantBitPopulationMustMatchMappings) {
+  MasterSchedule master = SimpleMaster(3);
+  VariantSchedule bad;
+  bad.replaces.Resize(3);
+  bad.replaces.Set(0);
+  bad.replaces.Set(1);  // two bits, one mapping
+  bad.mappings.emplace_back(0, Mapping(1, 99, 98));
+  master.variants.push_back(bad);
+  EXPECT_EQ(master.Validate().code(), ErrorCode::kMalformedSchedule);
+}
+
+TEST(ScheduleTest, VariantMappingMustBeInBitmap) {
+  MasterSchedule master = SimpleMaster(3);
+  VariantSchedule bad;
+  bad.replaces.Resize(3);
+  bad.replaces.Set(0);
+  bad.mappings.emplace_back(1, Mapping(1, 99, 98));  // bit 1 not set
+  master.variants.push_back(bad);
+  EXPECT_EQ(master.Validate().code(), ErrorCode::kMalformedSchedule);
+}
+
+TEST(ScheduleTest, WithVariantAppliesReplacements) {
+  // "Each entry in the variant schedule is a single-object mapping, and
+  // replaces one entry in the master schedule."
+  MasterSchedule master = SimpleMaster(3);
+  master.variants.push_back(
+      Variant(3, {{0, Mapping(1, 50, 51)}, {2, Mapping(1, 60, 61)}}));
+  auto applied = master.WithVariant(0);
+  EXPECT_EQ(applied[0], Mapping(1, 50, 51));
+  EXPECT_EQ(applied[1], master.mappings[1]);  // untouched
+  EXPECT_EQ(applied[2], Mapping(1, 60, 61));
+}
+
+TEST(ScheduleTest, RequestListValidation) {
+  ScheduleRequestList list;
+  EXPECT_EQ(list.Validate().code(), ErrorCode::kMalformedSchedule);
+  list.masters.push_back(SimpleMaster(2));
+  EXPECT_TRUE(list.Validate().ok());
+  list.masters.push_back(MasterSchedule{});  // empty master
+  EXPECT_FALSE(list.Validate().ok());
+}
+
+TEST(ScheduleTest, ToStringRendersStructure) {
+  MasterSchedule master = SimpleMaster(2);
+  master.variants.push_back(Variant(2, {{1, Mapping(1, 99, 98)}}));
+  const std::string rendered = master.ToString();
+  EXPECT_NE(rendered.find("master{"), std::string::npos);
+  EXPECT_NE(rendered.find("variant[01]"), std::string::npos);
+  ScheduleRequestList list;
+  list.masters.push_back(master);
+  EXPECT_NE(list.ToString().find("[0] master{"), std::string::npos);
+}
+
+TEST(ScheduleTest, EnactResultToString) {
+  EnactResult result;
+  result.success = true;
+  result.instances.emplace_back(Loid(LoidSpace::kObject, 0, 5));
+  result.instances.emplace_back(
+      Status::Error(ErrorCode::kRefused, "nope"));
+  const std::string rendered = result.ToString();
+  EXPECT_NE(rendered.find("object:0/5"), std::string::npos);
+  EXPECT_NE(rendered.find("REFUSED"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace legion

@@ -1,0 +1,190 @@
+// The specialized 2-D stencil placement policy (paper section 4.3).
+#include "core/schedulers/stencil_scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include "core/schedulers/random_scheduler.h"
+#include "workload/app_model.h"
+#include "workload/executor.h"
+#include "workload/metacomputer.h"
+
+namespace legion {
+namespace {
+
+class StencilSchedulerTest : public ::testing::Test {
+ protected:
+  StencilSchedulerTest() : kernel_(QuietNet()) {
+    MetacomputerConfig config;
+    config.domains = 3;
+    config.hosts_per_domain = 6;
+    config.vaults_per_domain = 2;
+    config.heterogeneous = false;  // every host runs the class
+    config.seed = 21;
+    config.load.initial = 0.2;
+    config.load.mean = 0.2;
+    config.load.volatility = 0.0;
+    metacomputer_ = std::make_unique<Metacomputer>(&kernel_, config);
+    metacomputer_->PopulateCollection();
+    klass_ = metacomputer_->MakeUniversalClass("ocean", 32, 1.0);
+  }
+
+  static NetworkParams QuietNet() {
+    NetworkParams params;
+    params.jitter_fraction = 0.0;
+    return params;
+  }
+
+  SimKernel kernel_;
+  std::unique_ptr<Metacomputer> metacomputer_;
+  ClassObject* klass_;
+};
+
+TEST_F(StencilSchedulerTest, RejectsMismatchedRequests) {
+  auto* scheduler = kernel_.AddActor<StencilScheduler>(
+      kernel_.minter().Mint(LoidSpace::kService, 0),
+      metacomputer_->collection()->loid(), metacomputer_->enactor()->loid(),
+      4, 4);
+  Result<ScheduleRequestList> got(ScheduleRequestList{});
+  bool fired = false;
+  scheduler->ComputeSchedule({{klass_->loid(), 7}},
+                             [&](Result<ScheduleRequestList> r) {
+                               fired = true;
+                               got = std::move(r);
+                             });
+  kernel_.RunFor(Duration::Minutes(1));
+  ASSERT_TRUE(fired);
+  EXPECT_EQ(got.code(), ErrorCode::kInvalidArgument);
+}
+
+TEST_F(StencilSchedulerTest, ProducesFullGridOfMappings) {
+  auto* scheduler = kernel_.AddActor<StencilScheduler>(
+      kernel_.minter().Mint(LoidSpace::kService, 0),
+      metacomputer_->collection()->loid(), metacomputer_->enactor()->loid(),
+      6, 6);
+  Result<ScheduleRequestList> got(ScheduleRequestList{});
+  scheduler->ComputeSchedule({{klass_->loid(), 36}},
+                             [&](Result<ScheduleRequestList> r) {
+                               got = std::move(r);
+                             });
+  kernel_.RunFor(Duration::Minutes(1));
+  ASSERT_TRUE(got.ok());
+  ASSERT_EQ(got->masters.size(), 1u);
+  EXPECT_EQ(got->masters[0].mappings.size(), 36u);
+  EXPECT_TRUE(got->masters[0].Validate().ok());
+}
+
+TEST_F(StencilSchedulerTest, RowsStayWithinOneDomain) {
+  // The band partition: every grid row lives in a single administrative
+  // domain, so east-west halo edges never cross the WAN.
+  const std::size_t rows = 6, cols = 6;
+  auto* scheduler = kernel_.AddActor<StencilScheduler>(
+      kernel_.minter().Mint(LoidSpace::kService, 0),
+      metacomputer_->collection()->loid(), metacomputer_->enactor()->loid(),
+      rows, cols);
+  Result<ScheduleRequestList> got(ScheduleRequestList{});
+  scheduler->ComputeSchedule({{klass_->loid(), rows * cols}},
+                             [&](Result<ScheduleRequestList> r) {
+                               got = std::move(r);
+                             });
+  kernel_.RunFor(Duration::Minutes(1));
+  ASSERT_TRUE(got.ok());
+  const auto& mappings = got->masters[0].mappings;
+  for (std::size_t r = 0; r < rows; ++r) {
+    auto domain0 = kernel_.network().DomainOf(mappings[r * cols].host);
+    ASSERT_TRUE(domain0.has_value());
+    for (std::size_t c = 1; c < cols; ++c) {
+      auto domain = kernel_.network().DomainOf(mappings[r * cols + c].host);
+      ASSERT_TRUE(domain.has_value());
+      EXPECT_EQ(*domain, *domain0) << "row " << r << " spans domains";
+    }
+  }
+}
+
+TEST_F(StencilSchedulerTest, FarFewerInterDomainEdgesThanRandom) {
+  // The headline claim (C2): application-structure knowledge beats the
+  // random default.  Count stencil edges that cross domains.
+  const std::size_t rows = 6, cols = 6;
+  ApplicationSpec app = MakeStencil2D(rows, cols, 1000.0, 64 * 1024, 10);
+
+  auto* stencil = kernel_.AddActor<StencilScheduler>(
+      kernel_.minter().Mint(LoidSpace::kService, 0),
+      metacomputer_->collection()->loid(), metacomputer_->enactor()->loid(),
+      rows, cols);
+  auto* random = kernel_.AddActor<RandomScheduler>(
+      kernel_.minter().Mint(LoidSpace::kService, 0),
+      metacomputer_->collection()->loid(), metacomputer_->enactor()->loid(),
+      /*seed=*/99);
+
+  auto edges_of = [&](SchedulerObject* scheduler) -> std::size_t {
+    Result<ScheduleRequestList> got(ScheduleRequestList{});
+    scheduler->ComputeSchedule({{klass_->loid(), rows * cols}},
+                               [&](Result<ScheduleRequestList> r) {
+                                 got = std::move(r);
+                               });
+    kernel_.RunFor(Duration::Minutes(1));
+    EXPECT_TRUE(got.ok());
+    if (!got.ok()) return 0;
+    auto hosts = HostsOfMappings(got->masters[0].mappings);
+    return EstimateMakespan(kernel_, app, hosts).inter_domain_edges;
+  };
+
+  const std::size_t stencil_edges = edges_of(stencil);
+  const std::size_t random_edges = edges_of(random);
+  EXPECT_LT(stencil_edges, random_edges / 2)
+      << "stencil=" << stencil_edges << " random=" << random_edges;
+}
+
+TEST_F(StencilSchedulerTest, StencilBeatsRandomOnMakespan) {
+  const std::size_t rows = 6, cols = 6;
+  // Communication-heavy configuration: small per-cell work, fat halos.
+  ApplicationSpec app = MakeStencil2D(rows, cols, /*work=*/10.0,
+                                      /*halo=*/256 * 1024, /*iters=*/20);
+  auto* stencil = kernel_.AddActor<StencilScheduler>(
+      kernel_.minter().Mint(LoidSpace::kService, 0),
+      metacomputer_->collection()->loid(), metacomputer_->enactor()->loid(),
+      rows, cols);
+  auto* random = kernel_.AddActor<RandomScheduler>(
+      kernel_.minter().Mint(LoidSpace::kService, 0),
+      metacomputer_->collection()->loid(), metacomputer_->enactor()->loid(),
+      /*seed=*/123);
+  auto makespan_of = [&](SchedulerObject* scheduler) -> double {
+    Result<ScheduleRequestList> got(ScheduleRequestList{});
+    scheduler->ComputeSchedule({{klass_->loid(), rows * cols}},
+                               [&](Result<ScheduleRequestList> r) {
+                                 got = std::move(r);
+                               });
+    kernel_.RunFor(Duration::Minutes(1));
+    EXPECT_TRUE(got.ok());
+    auto hosts = HostsOfMappings(got->masters[0].mappings);
+    return EstimateMakespan(kernel_, app, hosts).makespan.seconds();
+  };
+  const double stencil_makespan = makespan_of(stencil);
+  const double random_makespan = makespan_of(random);
+  EXPECT_LT(stencil_makespan, random_makespan);
+}
+
+TEST_F(StencilSchedulerTest, VariantOffersSameDomainAlternates) {
+  auto* scheduler = kernel_.AddActor<StencilScheduler>(
+      kernel_.minter().Mint(LoidSpace::kService, 0),
+      metacomputer_->collection()->loid(), metacomputer_->enactor()->loid(),
+      4, 4);
+  Result<ScheduleRequestList> got(ScheduleRequestList{});
+  scheduler->ComputeSchedule({{klass_->loid(), 16}},
+                             [&](Result<ScheduleRequestList> r) {
+                               got = std::move(r);
+                             });
+  kernel_.RunFor(Duration::Minutes(1));
+  ASSERT_TRUE(got.ok());
+  const MasterSchedule& master = got->masters[0];
+  ASSERT_EQ(master.variants.size(), 1u);
+  for (const auto& [index, mapping] : master.variants[0].mappings) {
+    auto master_domain =
+        kernel_.network().DomainOf(master.mappings[index].host);
+    auto variant_domain = kernel_.network().DomainOf(mapping.host);
+    ASSERT_TRUE(master_domain.has_value() && variant_domain.has_value());
+    EXPECT_EQ(*master_domain, *variant_domain);
+  }
+}
+
+}  // namespace
+}  // namespace legion

@@ -1,0 +1,200 @@
+// Failure injection: "our Legion objects are built to accommodate
+// failure at any step in the scheduling process" (paper §3.1).  Each
+// test breaks one step and checks the system degrades, reports, and
+// recovers rather than wedging.
+#include <gtest/gtest.h>
+
+#include "core/migration.h"
+#include "core/schedulers/irs_scheduler.h"
+#include "test_world.h"
+
+namespace legion {
+namespace {
+
+using testing::Await;
+using testing::TestWorld;
+
+class FailureTest : public ::testing::Test {
+ protected:
+  FailureTest() : world_(testing::TestWorldConfig{.hosts = 4}) {
+    world_.Populate();
+    klass_ = world_.MakeClass("app");
+  }
+
+  ObjectMapping MappingTo(std::size_t index) {
+    ObjectMapping mapping;
+    mapping.class_loid = klass_->loid();
+    mapping.host = world_.hosts[index]->loid();
+    mapping.vault = world_.vaults[index]->loid();
+    return mapping;
+  }
+
+  TestWorld world_;
+  ClassObject* klass_;
+};
+
+TEST_F(FailureTest, HostCrashMidNegotiationTimesOutAndVariantsRecover) {
+  // Host 1 vanishes (crash) before the negotiation starts; the RPC to it
+  // times out and the variant machinery routes around the corpse.
+  world_.enactor->options().rpc_timeout = Duration::Seconds(5);
+  const Loid dead_host = world_.hosts[1]->loid();
+  world_.kernel.RemoveActor(dead_host);
+
+  ScheduleRequestList request;
+  MasterSchedule master;
+  master.mappings = {MappingTo(0), MappingTo(1)};
+  VariantSchedule variant;
+  variant.replaces.Resize(2);
+  variant.replaces.Set(1);
+  variant.mappings.emplace_back(1, MappingTo(2));
+  master.variants.push_back(variant);
+  request.masters.push_back(master);
+
+  Await<ScheduleFeedback> feedback;
+  world_.enactor->MakeReservations(request, feedback.Sink());
+  world_.Run();
+  ASSERT_TRUE(feedback.Ready());
+  ASSERT_TRUE(feedback.Get()->success);
+  EXPECT_EQ(feedback.Get()->reserved_mappings[1].host,
+            world_.hosts[2]->loid());
+}
+
+TEST_F(FailureTest, HostCrashAfterReservationFailsEnactmentCleanly) {
+  ScheduleRequestList request;
+  MasterSchedule master;
+  master.mappings = {MappingTo(0), MappingTo(1)};
+  request.masters.push_back(master);
+  Await<ScheduleFeedback> feedback;
+  world_.enactor->MakeReservations(request, feedback.Sink());
+  world_.Run();
+  ASSERT_TRUE(feedback.Get()->success);
+  // Host 1 dies between reservation and enactment.
+  world_.kernel.RemoveActor(world_.hosts[1]->loid());
+  Await<EnactResult> enacted;
+  world_.enactor->EnactSchedule(*feedback.Get(), enacted.Sink());
+  world_.Run();
+  ASSERT_TRUE(enacted.Ready());
+  EXPECT_FALSE(enacted.Get()->success);
+  // The mapping to the live host still started; the dead one reports.
+  EXPECT_TRUE(enacted.Get()->instances[0].ok());
+  EXPECT_FALSE(enacted.Get()->instances[1].ok());
+  EXPECT_EQ(world_.hosts[0]->running_count(), 1u);
+}
+
+TEST_F(FailureTest, FullVaultFailsDeactivationButObjectKeepsRunning) {
+  // A tiny vault that one foreign OPR fills completely.
+  VaultSpec tiny_spec;
+  tiny_spec.name = "tiny";
+  tiny_spec.capacity_mb = 1;
+  auto* tiny = world_.kernel.AddActor<VaultObject>(
+      world_.kernel.minter().Mint(LoidSpace::kVault, 0), tiny_spec);
+  world_.hosts[0]->AddCompatibleVault(tiny->loid());
+  PlacementSuggestion suggestion;
+  suggestion.host = world_.hosts[0]->loid();
+  suggestion.vault = tiny->loid();
+  Await<Loid> placed;
+  klass_->CreateInstance(suggestion, placed.Sink());
+  world_.Run();
+  ASSERT_TRUE(placed.Get().ok());
+  // Stuff the vault to capacity with a foreign OPR.
+  Opr filler;
+  filler.object = Loid(LoidSpace::kObject, 0, 9999);
+  filler.class_loid = klass_->loid();
+  filler.body.assign(tiny->capacity_bytes() - 128, 0x7F);
+  Await<bool> stuffed;
+  tiny->StoreOpr(filler, stuffed.Sink());
+  ASSERT_TRUE(*stuffed.Get());
+
+  Await<bool> deactivated;
+  world_.hosts[0]->DeactivateObject(*placed.Get(), deactivated.Sink());
+  world_.Run();
+  ASSERT_TRUE(deactivated.Ready());
+  EXPECT_FALSE(deactivated.Get().ok() && *deactivated.Get());
+  // The object was NOT torn down: it still runs where it was.
+  auto* object =
+      dynamic_cast<LegionObject*>(world_.kernel.FindActor(*placed.Get()));
+  ASSERT_NE(object, nullptr);
+  EXPECT_TRUE(object->active());
+  EXPECT_EQ(world_.hosts[0]->running_count(), 1u);
+}
+
+TEST_F(FailureTest, MigrationToDeadHostReportsAndPreservesNothingLost) {
+  PlacementSuggestion suggestion;
+  suggestion.host = world_.hosts[0]->loid();
+  suggestion.vault = world_.vaults[0]->loid();
+  Await<Loid> placed;
+  klass_->CreateInstance(suggestion, placed.Sink());
+  world_.Run();
+  ASSERT_TRUE(placed.Get().ok());
+  const Loid ghost(LoidSpace::kHost, 0, 31337);
+  Await<MigrationOutcome> outcome;
+  MigrateObject(&world_.kernel, world_.enactor->loid(), *placed.Get(),
+                ghost, world_.vaults[1]->loid(), outcome.Sink());
+  world_.Run();
+  ASSERT_TRUE(outcome.Ready());
+  EXPECT_FALSE(outcome.Get()->success);
+  // The object was deactivated and its OPR moved, but reactivation
+  // failed; the passive state survives in the target vault.
+  EXPECT_EQ(world_.vaults[1]->stored_count(), 1u);
+  auto* object =
+      dynamic_cast<LegionObject*>(world_.kernel.FindActor(*placed.Get()));
+  ASSERT_NE(object, nullptr);
+  EXPECT_EQ(object->state(), ObjectState::kInactive);
+  // Recovery: reactivate by hand on a live host.
+  Await<bool> recovered;
+  world_.hosts[1]->ReactivateObject(*placed.Get(), world_.vaults[1]->loid(),
+                                    recovered.Sink());
+  world_.Run();
+  EXPECT_TRUE(*recovered.Get());
+  EXPECT_TRUE(object->active());
+}
+
+TEST_F(FailureTest, CollectionUnreachableFailsSchedulingWithTimeout) {
+  world_.kernel.RemoveActor(world_.collection->loid());
+  auto* scheduler = world_.kernel.AddActor<IrsScheduler>(
+      world_.kernel.minter().Mint(LoidSpace::kService, 0),
+      Loid(LoidSpace::kService, 0, 424242),  // nothing there
+      world_.enactor->loid(), 4, 3);
+  Await<ScheduleRequestList> schedule;
+  scheduler->ComputeSchedule({{klass_->loid(), 2}}, schedule.Sink());
+  world_.Run();
+  ASSERT_TRUE(schedule.Ready());
+  EXPECT_FALSE(schedule.Get().ok());
+  EXPECT_EQ(schedule.Get().code(), ErrorCode::kUnavailable);
+}
+
+TEST_F(FailureTest, KilledInstanceVanishesFromItsClassPerspective) {
+  Await<Loid> placed;
+  klass_->CreateInstance(std::nullopt, placed.Sink());
+  world_.Run();
+  ASSERT_TRUE(placed.Get().ok());
+  auto* object =
+      dynamic_cast<LegionObject*>(world_.kernel.FindActor(*placed.Get()));
+  const Loid host_loid = object->host();
+  auto* host = dynamic_cast<HostObject*>(world_.kernel.FindActor(host_loid));
+  Await<bool> killed;
+  host->KillObject(*placed.Get(), killed.Sink());
+  EXPECT_TRUE(*killed.Get());
+  EXPECT_EQ(world_.kernel.FindActor(*placed.Get()), nullptr);
+  klass_->ForgetInstance(*placed.Get());
+  EXPECT_TRUE(klass_->instances().empty());
+}
+
+TEST_F(FailureTest, PartitionDuringPushHealsOnNextReassessment) {
+  // Split the collection (domain 0) from a 2-domain world's domain 1.
+  TestWorld world(testing::TestWorldConfig{.hosts = 4, .domains = 2});
+  world.kernel.network().AddPartition(0, 1, world.kernel.Now(),
+                                      world.kernel.Now() +
+                                          Duration::Minutes(5));
+  world.Populate();
+  // Only the domain-0 hosts' records arrived.
+  EXPECT_EQ(world.collection->record_count(), 2u);
+  // The partition heals; the next reassessment pushes the missing two.
+  world.kernel.RunFor(Duration::Minutes(6));
+  for (auto* host : world.hosts) host->ReassessState();
+  world.kernel.RunFor(Duration::Minutes(1));
+  EXPECT_EQ(world.collection->record_count(), 4u);
+}
+
+}  // namespace
+}  // namespace legion

@@ -1,0 +1,172 @@
+#include "objects/class_object.h"
+
+#include <gtest/gtest.h>
+
+#include "test_world.h"
+
+namespace legion {
+namespace {
+
+using testing::Await;
+using testing::TestWorld;
+
+TEST(ClassObjectTest, ExposesImplementations) {
+  TestWorld world;
+  auto* klass = world.MakeClass("app");
+  Await<std::vector<Implementation>> impls;
+  klass->GetImplementations(impls.Sink());
+  ASSERT_TRUE(impls.Ready());  // local call completes synchronously
+  ASSERT_EQ(impls.Get()->size(), 1u);
+  EXPECT_EQ((*impls.Get())[0].arch, "x86");
+  EXPECT_EQ((*impls.Get())[0].os_name, "Linux");
+}
+
+TEST(ClassObjectTest, ReportsResourceRequirements) {
+  TestWorld world;
+  auto* klass = world.MakeClass("app", /*memory_mb=*/128, /*cpu=*/0.5);
+  Await<AttributeDatabase> reqs;
+  klass->GetResourceRequirements(reqs.Sink());
+  ASSERT_TRUE(reqs.Ready());
+  EXPECT_EQ(reqs.Get()->Get("memory_mb")->as_int(), 128);
+  EXPECT_DOUBLE_EQ(reqs.Get()->Get("cpu_fraction")->as_double(), 0.5);
+}
+
+TEST(ClassObjectTest, DefaultPlacementRoundRobins) {
+  // The "quick (and almost certainly non-optimal)" default decision.
+  TestWorld world;
+  auto* klass = world.MakeClass("app");
+  std::vector<Loid> hosts_used;
+  for (int i = 0; i < 3; ++i) {
+    Await<Loid> instance;
+    klass->CreateInstance(std::nullopt, instance.Sink());
+    world.Run();
+    ASSERT_TRUE(instance.Ready());
+    ASSERT_TRUE(instance.Get().ok());
+    auto* object = dynamic_cast<LegionObject*>(
+        world.kernel.FindActor(*instance.Get()));
+    ASSERT_NE(object, nullptr);
+    hosts_used.push_back(object->host());
+  }
+  // Three hosts, three placements: all distinct (round robin).
+  EXPECT_NE(hosts_used[0], hosts_used[1]);
+  EXPECT_NE(hosts_used[1], hosts_used[2]);
+  EXPECT_NE(hosts_used[0], hosts_used[2]);
+  EXPECT_EQ(klass->instances().size(), 3u);
+}
+
+TEST(ClassObjectTest, DefaultPlacementFailsWithoutKnownResources) {
+  TestWorld world;
+  auto* klass = world.kernel.AddActor<ClassObject>(
+      Loid(LoidSpace::kClass, 0, 200), "orphan",
+      std::vector<Implementation>{});
+  Await<Loid> instance;
+  klass->CreateInstance(std::nullopt, instance.Sink());
+  world.Run();
+  ASSERT_TRUE(instance.Ready());
+  EXPECT_EQ(instance.Get().code(), ErrorCode::kNoResources);
+}
+
+TEST(ClassObjectTest, DefaultPlacementSkipsFullHosts) {
+  TestWorld world;
+  auto* klass = world.MakeClass("fat", /*memory_mb=*/900);
+  // First placement fills host0's 1024 MB; second must move on.
+  Await<Loid> first, second;
+  klass->CreateInstance(std::nullopt, first.Sink());
+  world.Run();
+  klass->CreateInstance(std::nullopt, second.Sink());
+  world.Run();
+  ASSERT_TRUE(first.Get().ok());
+  ASSERT_TRUE(second.Get().ok());
+  auto* a = dynamic_cast<LegionObject*>(world.kernel.FindActor(*first.Get()));
+  auto* b = dynamic_cast<LegionObject*>(world.kernel.FindActor(*second.Get()));
+  EXPECT_NE(a->host(), b->host());
+}
+
+TEST(ClassObjectTest, DirectedPlacementUsesSuggestion) {
+  TestWorld world;
+  auto* klass = world.MakeClass("app");
+  PlacementSuggestion suggestion;
+  suggestion.host = world.hosts[2]->loid();
+  suggestion.vault = world.vaults[2]->loid();
+  Await<Loid> instance;
+  klass->CreateInstance(suggestion, instance.Sink());
+  world.Run();
+  ASSERT_TRUE(instance.Get().ok());
+  auto* object =
+      dynamic_cast<LegionObject*>(world.kernel.FindActor(*instance.Get()));
+  EXPECT_EQ(object->host(), world.hosts[2]->loid());
+  EXPECT_EQ(object->vault(), world.vaults[2]->loid());
+}
+
+TEST(ClassObjectTest, ValidatorIsFinalAuthority) {
+  // "The Class object is still responsible for checking the placement
+  // for validity and conformance to local policy."
+  TestWorld world;
+  auto* klass = world.MakeClass("picky");
+  const Loid banned = world.hosts[0]->loid();
+  klass->SetPlacementValidator(
+      [banned](const PlacementSuggestion& suggestion) {
+        if (suggestion.host == banned) {
+          return Status::Error(ErrorCode::kRefused, "not on that host");
+        }
+        return Status::Ok();
+      });
+  PlacementSuggestion suggestion;
+  suggestion.host = banned;
+  suggestion.vault = world.vaults[0]->loid();
+  Await<Loid> refused;
+  klass->CreateInstance(suggestion, refused.Sink());
+  world.Run();
+  EXPECT_EQ(refused.Get().code(), ErrorCode::kRefused);
+
+  suggestion.host = world.hosts[1]->loid();
+  suggestion.vault = world.vaults[1]->loid();
+  Await<Loid> accepted;
+  klass->CreateInstance(suggestion, accepted.Sink());
+  world.Run();
+  EXPECT_TRUE(accepted.Get().ok());
+}
+
+TEST(ClassObjectTest, BatchedCreateStartsSeveralInstances) {
+  // Table 1: "The StartObject function can create one or more objects".
+  TestWorld world;
+  auto* klass = world.MakeClass("par", /*memory_mb=*/16, /*cpu=*/0.25);
+  PlacementSuggestion suggestion;
+  suggestion.host = world.hosts[0]->loid();
+  suggestion.vault = world.vaults[0]->loid();
+  Await<std::vector<Loid>> instances;
+  klass->CreateInstancesOn(suggestion, 4, instances.Sink());
+  world.Run();
+  ASSERT_TRUE(instances.Get().ok());
+  EXPECT_EQ(instances.Get()->size(), 4u);
+  EXPECT_EQ(world.hosts[0]->running_count(), 4u);
+  EXPECT_EQ(klass->instances().size(), 4u);
+}
+
+TEST(ClassObjectTest, ForgetInstanceRemovesFromRegistry) {
+  TestWorld world;
+  auto* klass = world.MakeClass("app");
+  Await<Loid> instance;
+  klass->CreateInstance(std::nullopt, instance.Sink());
+  world.Run();
+  ASSERT_TRUE(instance.Get().ok());
+  EXPECT_EQ(klass->instances().size(), 1u);
+  klass->ForgetInstance(*instance.Get());
+  EXPECT_TRUE(klass->instances().empty());
+}
+
+TEST(ClassObjectTest, CreateInstanceOnDeadHostFails) {
+  TestWorld world;
+  auto* klass = world.MakeClass("app");
+  PlacementSuggestion suggestion;
+  suggestion.host = Loid(LoidSpace::kHost, 0, 9999);  // no such host
+  suggestion.vault = world.vaults[0]->loid();
+  Await<Loid> instance;
+  klass->CreateInstance(suggestion, instance.Sink());
+  world.Run();
+  ASSERT_TRUE(instance.Ready());
+  EXPECT_FALSE(instance.Get().ok());
+}
+
+}  // namespace
+}  // namespace legion

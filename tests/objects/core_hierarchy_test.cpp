@@ -1,0 +1,86 @@
+// The core object hierarchy (paper figure 1).
+#include "objects/core_hierarchy.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/metacomputer.h"
+
+namespace legion {
+namespace {
+
+TEST(CoreHierarchyTest, EnsureCreatesTheThreeCoreClasses) {
+  SimKernel kernel;
+  CoreHierarchy hierarchy = EnsureCoreHierarchy(&kernel, 0);
+  ASSERT_NE(hierarchy.legion_class, nullptr);
+  ASSERT_NE(hierarchy.host_class, nullptr);
+  ASSERT_NE(hierarchy.vault_class, nullptr);
+  EXPECT_EQ(hierarchy.legion_class->name(), "LegionClass");
+  EXPECT_EQ(hierarchy.host_class->name(), "HostClass");
+  EXPECT_EQ(hierarchy.vault_class->name(), "VaultClass");
+  EXPECT_EQ(hierarchy.legion_class->loid(), LegionClassLoid(0));
+  EXPECT_EQ(hierarchy.host_class->loid(), HostClassLoid(0));
+  EXPECT_EQ(hierarchy.vault_class->loid(), VaultClassLoid(0));
+}
+
+TEST(CoreHierarchyTest, EnsureIsIdempotent) {
+  SimKernel kernel;
+  CoreHierarchy first = EnsureCoreHierarchy(&kernel, 0);
+  CoreHierarchy second = EnsureCoreHierarchy(&kernel, 0);
+  EXPECT_EQ(first.legion_class, second.legion_class);
+  EXPECT_EQ(first.host_class, second.host_class);
+  EXPECT_EQ(first.vault_class, second.vault_class);
+}
+
+TEST(CoreHierarchyTest, HostsDescendFromHostClassThenLegionClass) {
+  SimKernel kernel;
+  MetacomputerConfig config;
+  config.domains = 2;
+  config.hosts_per_domain = 3;
+  Metacomputer metacomputer(&kernel, config);
+  for (auto* host : metacomputer.hosts()) {
+    auto chain = ClassChainOf(&kernel, host->class_loid());
+    ASSERT_GE(chain.size(), 2u) << host->spec().name;
+    EXPECT_EQ(chain.front(), HostClassLoid(host->spec().domain));
+    EXPECT_EQ(chain.back(), LegionClassLoid(host->spec().domain));
+  }
+}
+
+TEST(CoreHierarchyTest, VaultsDescendFromVaultClass) {
+  SimKernel kernel;
+  Metacomputer metacomputer(&kernel, MetacomputerConfig{});
+  for (auto* vault : metacomputer.vaults()) {
+    auto chain = ClassChainOf(&kernel, vault->class_loid());
+    ASSERT_GE(chain.size(), 2u);
+    EXPECT_EQ(chain.front(), VaultClassLoid(vault->spec().domain));
+    EXPECT_EQ(chain.back(), LegionClassLoid(vault->spec().domain));
+  }
+}
+
+TEST(CoreHierarchyTest, UserClassesDescendDirectlyFromLegionClass) {
+  // MyObjClass sits directly under LegionClass in figure 1.
+  SimKernel kernel;
+  Metacomputer metacomputer(&kernel, MetacomputerConfig{});
+  ClassObject* klass = metacomputer.MakeUniversalClass("MyObjClass");
+  auto chain = ClassChainOf(&kernel, klass->class_loid());
+  ASSERT_FALSE(chain.empty());
+  EXPECT_EQ(chain.back(), LegionClassLoid(0));
+}
+
+TEST(CoreHierarchyTest, LegionClassRootsItself) {
+  SimKernel kernel;
+  EnsureCoreHierarchy(&kernel, 0);
+  auto chain = ClassChainOf(&kernel, LegionClassLoid(0));
+  ASSERT_EQ(chain.size(), 1u);
+  EXPECT_EQ(chain.front(), LegionClassLoid(0));
+}
+
+TEST(CoreHierarchyTest, ChainWalkerBoundsDepth) {
+  SimKernel kernel;
+  // A dangling class loid (no actor) terminates immediately after the
+  // first hop.
+  auto chain = ClassChainOf(&kernel, Loid(LoidSpace::kClass, 0, 777));
+  EXPECT_EQ(chain.size(), 1u);
+}
+
+}  // namespace
+}  // namespace legion

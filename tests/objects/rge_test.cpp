@@ -1,0 +1,164 @@
+#include "objects/rge.h"
+
+#include <gtest/gtest.h>
+
+namespace legion {
+namespace {
+
+Loid Owner() { return Loid(LoidSpace::kHost, 0, 1); }
+
+TriggerSpec LoadTrigger(double threshold, bool edge = true,
+                        bool one_shot = false) {
+  TriggerSpec spec;
+  spec.event_name = "high_load";
+  spec.guard = [threshold](const AttributeDatabase& db) {
+    const AttrValue* load = db.Get("load");
+    return load != nullptr && load->as_double() > threshold;
+  };
+  spec.edge_sensitive = edge;
+  spec.one_shot = one_shot;
+  return spec;
+}
+
+TEST(RgeTest, TriggerFiresWhenGuardTrue) {
+  EventManager manager(Owner());
+  manager.RegisterTrigger(LoadTrigger(0.5));
+  int fired = 0;
+  manager.RegisterOutcall("high_load",
+                          [&](const RgeEvent&) { ++fired; });
+  AttributeDatabase db;
+  db.Set("load", 0.9);
+  EXPECT_EQ(manager.Evaluate(db, SimTime(1)), 1u);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(RgeTest, TriggerSilentWhenGuardFalse) {
+  EventManager manager(Owner());
+  manager.RegisterTrigger(LoadTrigger(0.5));
+  int fired = 0;
+  manager.RegisterOutcall("high_load", [&](const RgeEvent&) { ++fired; });
+  AttributeDatabase db;
+  db.Set("load", 0.1);
+  EXPECT_EQ(manager.Evaluate(db, SimTime(1)), 0u);
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(RgeTest, EdgeSensitiveFiresOncePerTransition) {
+  EventManager manager(Owner());
+  manager.RegisterTrigger(LoadTrigger(0.5, /*edge=*/true));
+  int fired = 0;
+  manager.RegisterOutcall("high_load", [&](const RgeEvent&) { ++fired; });
+  AttributeDatabase db;
+  db.Set("load", 0.9);
+  manager.Evaluate(db, SimTime(1));
+  manager.Evaluate(db, SimTime(2));  // still high: no re-fire
+  manager.Evaluate(db, SimTime(3));
+  EXPECT_EQ(fired, 1);
+  db.Set("load", 0.1);
+  manager.Evaluate(db, SimTime(4));  // re-arm
+  db.Set("load", 0.95);
+  manager.Evaluate(db, SimTime(5));  // fires again
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(RgeTest, LevelSensitiveFiresEveryEvaluation) {
+  EventManager manager(Owner());
+  manager.RegisterTrigger(LoadTrigger(0.5, /*edge=*/false));
+  int fired = 0;
+  manager.RegisterOutcall("high_load", [&](const RgeEvent&) { ++fired; });
+  AttributeDatabase db;
+  db.Set("load", 0.9);
+  for (int i = 0; i < 3; ++i) manager.Evaluate(db, SimTime(i));
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(RgeTest, OneShotRemovesItself) {
+  EventManager manager(Owner());
+  manager.RegisterTrigger(LoadTrigger(0.5, true, /*one_shot=*/true));
+  int fired = 0;
+  manager.RegisterOutcall("high_load", [&](const RgeEvent&) { ++fired; });
+  AttributeDatabase db;
+  db.Set("load", 0.9);
+  manager.Evaluate(db, SimTime(1));
+  EXPECT_EQ(manager.trigger_count(), 0u);
+  db.Set("load", 0.1);
+  manager.Evaluate(db, SimTime(2));
+  db.Set("load", 0.9);
+  manager.Evaluate(db, SimTime(3));
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(RgeTest, EventCarriesOwnerTimeAndPayload) {
+  EventManager manager(Owner());
+  manager.RegisterTrigger(LoadTrigger(0.5));
+  RgeEvent received;
+  manager.RegisterOutcall("high_load",
+                          [&](const RgeEvent& e) { received = e; });
+  AttributeDatabase db;
+  db.Set("load", 0.8);
+  db.Set("name", "hostX");
+  manager.Evaluate(db, SimTime(77));
+  EXPECT_EQ(received.name, "high_load");
+  EXPECT_EQ(received.source, Owner());
+  EXPECT_EQ(received.when, SimTime(77));
+  EXPECT_EQ(received.payload.Get("name")->as_string(), "hostX");
+}
+
+TEST(RgeTest, EmptyOutcallNameSubscribesToAll) {
+  EventManager manager(Owner());
+  manager.RegisterTrigger(LoadTrigger(0.5));
+  TriggerSpec other;
+  other.event_name = "other_event";
+  other.guard = [](const AttributeDatabase&) { return true; };
+  manager.RegisterTrigger(std::move(other));
+  int fired = 0;
+  manager.RegisterOutcall("", [&](const RgeEvent&) { ++fired; });
+  AttributeDatabase db;
+  db.Set("load", 0.9);
+  manager.Evaluate(db, SimTime(1));
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(RgeTest, RemoveTriggerAndOutcall) {
+  EventManager manager(Owner());
+  TriggerId trigger = manager.RegisterTrigger(LoadTrigger(0.5));
+  int fired = 0;
+  OutcallId outcall =
+      manager.RegisterOutcall("high_load", [&](const RgeEvent&) { ++fired; });
+  EXPECT_TRUE(manager.RemoveTrigger(trigger));
+  EXPECT_FALSE(manager.RemoveTrigger(trigger));
+  EXPECT_TRUE(manager.RemoveOutcall(outcall));
+  EXPECT_FALSE(manager.RemoveOutcall(outcall));
+  AttributeDatabase db;
+  db.Set("load", 0.9);
+  manager.Evaluate(db, SimTime(1));
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(RgeTest, OutcallMayUnsubscribeDuringDispatch) {
+  EventManager manager(Owner());
+  manager.RegisterTrigger(LoadTrigger(0.5, /*edge=*/false));
+  OutcallId id = 0;
+  int fired = 0;
+  id = manager.RegisterOutcall("high_load", [&](const RgeEvent&) {
+    ++fired;
+    manager.RemoveOutcall(id);
+  });
+  AttributeDatabase db;
+  db.Set("load", 0.9);
+  manager.Evaluate(db, SimTime(1));
+  manager.Evaluate(db, SimTime(2));
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(RgeTest, MultipleTriggersCountRaised) {
+  EventManager manager(Owner());
+  for (double t : {0.1, 0.2, 0.3}) manager.RegisterTrigger(LoadTrigger(t));
+  AttributeDatabase db;
+  db.Set("load", 0.25);
+  EXPECT_EQ(manager.Evaluate(db, SimTime(1)), 2u);  // 0.1 and 0.2 fire
+  EXPECT_EQ(manager.events_raised(), 2u);
+}
+
+}  // namespace
+}  // namespace legion

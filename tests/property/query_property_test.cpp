@@ -1,0 +1,128 @@
+// Property tests: algebraic laws of the query language over randomly
+// generated records.
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "query/query.h"
+
+namespace legion::query {
+namespace {
+
+AttributeDatabase RandomRecord(Rng& rng) {
+  AttributeDatabase db;
+  const char* arches[] = {"x86", "sparc", "alpha", "mips"};
+  const char* oses[] = {"Linux", "Solaris", "OSF1", "IRIX"};
+  db.Set("host_arch", arches[rng.Index(4)]);
+  db.Set("host_os_name", oses[rng.Index(4)]);
+  db.Set("host_load", rng.Uniform(0.0, 3.0));
+  db.Set("host_cpus", rng.UniformInt(1, 16));
+  if (rng.Bernoulli(0.5)) db.Set("optional_attr", rng.UniformInt(0, 100));
+  if (rng.Bernoulli(0.3)) db.Set("flag", rng.Bernoulli(0.5));
+  return db;
+}
+
+bool Eval(const std::string& text, const AttributeDatabase& db) {
+  auto query = CompiledQuery::Compile(text);
+  EXPECT_TRUE(query.ok()) << text;
+  return query->Matches(db);
+}
+
+class QueryPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(QueryPropertyTest, DoubleNegationIsIdentity) {
+  Rng rng(GetParam());
+  const char* predicates[] = {
+      "$host_load < 1.5",
+      "$host_arch == \"x86\"",
+      "defined($optional_attr)",
+      "match(\"Li\", $host_os_name)",
+      "$flag",
+  };
+  for (int i = 0; i < 40; ++i) {
+    AttributeDatabase db = RandomRecord(rng);
+    for (const char* p : predicates) {
+      EXPECT_EQ(Eval(p, db), Eval("not (not (" + std::string(p) + "))", db))
+          << p;
+    }
+  }
+}
+
+TEST_P(QueryPropertyTest, DeMorganLaws) {
+  Rng rng(GetParam() ^ 0x1111);
+  const std::string a = "$host_load < 1.5";
+  const std::string b = "$host_cpus >= 4";
+  for (int i = 0; i < 40; ++i) {
+    AttributeDatabase db = RandomRecord(rng);
+    EXPECT_EQ(Eval("not (" + a + " and " + b + ")", db),
+              Eval("not (" + a + ") or not (" + b + ")", db));
+    EXPECT_EQ(Eval("not (" + a + " or " + b + ")", db),
+              Eval("not (" + a + ") and not (" + b + ")", db));
+  }
+}
+
+TEST_P(QueryPropertyTest, ComparisonTrichotomy) {
+  Rng rng(GetParam() ^ 0x2222);
+  for (int i = 0; i < 40; ++i) {
+    AttributeDatabase db = RandomRecord(rng);
+    const double threshold = rng.Uniform(0.0, 3.0);
+    const std::string t = std::to_string(threshold);
+    const int below = Eval("$host_load < " + t, db) ? 1 : 0;
+    const int equal = Eval("$host_load == " + t, db) ? 1 : 0;
+    const int above = Eval("$host_load > " + t, db) ? 1 : 0;
+    EXPECT_EQ(below + equal + above, 1);
+    // <= is < or ==; >= is > or ==.
+    EXPECT_EQ(Eval("$host_load <= " + t, db), below + equal == 1);
+    EXPECT_EQ(Eval("$host_load >= " + t, db), above + equal == 1);
+  }
+}
+
+TEST_P(QueryPropertyTest, EqualityAgreesWithNegatedInequality) {
+  Rng rng(GetParam() ^ 0x3333);
+  for (int i = 0; i < 40; ++i) {
+    AttributeDatabase db = RandomRecord(rng);
+    for (const char* attr : {"$host_arch", "$host_cpus", "$optional_attr"}) {
+      const std::string a(attr);
+      EXPECT_EQ(Eval(a + " == " + a, db), !Eval("not (" + a + " == " + a + ")", db));
+      EXPECT_EQ(Eval(a + " != 42", db), Eval("not (" + a + " == 42)", db));
+    }
+  }
+}
+
+TEST_P(QueryPropertyTest, CanonicalFormReparsesToSameSemantics) {
+  // ToString() output is itself a valid query with identical results.
+  Rng rng(GetParam() ^ 0x4444);
+  const char* queries[] = {
+      "$host_load < 1.0 and ($host_arch == \"x86\" or $host_cpus > 8)",
+      "not defined($optional_attr) or $flag",
+      "match($host_os_name, \"IRIX\") and match(\"5\\..*\", $host_os_name)",
+      "contains($host_arch, \"mips\") or $host_load >= 2.5",
+  };
+  for (const char* text : queries) {
+    auto original = CompiledQuery::Compile(text);
+    ASSERT_TRUE(original.ok()) << text;
+    auto reparsed = CompiledQuery::Compile(original->Canonical());
+    ASSERT_TRUE(reparsed.ok()) << original->Canonical();
+    for (int i = 0; i < 30; ++i) {
+      AttributeDatabase db = RandomRecord(rng);
+      EXPECT_EQ(original->Matches(db), reparsed->Matches(db))
+          << text << "  vs  " << original->Canonical();
+    }
+  }
+}
+
+TEST_P(QueryPropertyTest, MatchIsSubsetOfDefined) {
+  // Any record where match() on an attribute holds also has it defined.
+  Rng rng(GetParam() ^ 0x5555);
+  for (int i = 0; i < 40; ++i) {
+    AttributeDatabase db = RandomRecord(rng);
+    if (Eval("match(\".\", $host_os_name)", db)) {
+      EXPECT_TRUE(Eval("defined($host_os_name)", db));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QueryPropertyTest,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace legion::query

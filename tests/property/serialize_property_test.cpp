@@ -1,0 +1,125 @@
+// Property tests: serialization round trips and adversarial decoding.
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "base/serialize.h"
+#include "objects/opr.h"
+
+namespace legion {
+namespace {
+
+AttrValue RandomValue(Rng& rng, int depth = 0) {
+  const double pick = rng.UniformDouble();
+  if (pick < 0.15) return AttrValue();
+  if (pick < 0.30) return AttrValue(rng.Bernoulli(0.5));
+  if (pick < 0.50) return AttrValue(rng.UniformInt(-1000000, 1000000));
+  if (pick < 0.65) return AttrValue(rng.Uniform(-1e6, 1e6));
+  if (pick < 0.85 || depth >= 2) {
+    std::string s;
+    const auto len = static_cast<std::size_t>(rng.UniformInt(0, 40));
+    for (std::size_t i = 0; i < len; ++i) {
+      s.push_back(static_cast<char>(rng.UniformInt(32, 126)));
+    }
+    return AttrValue(std::move(s));
+  }
+  AttrList list;
+  const auto n = static_cast<std::size_t>(rng.UniformInt(0, 5));
+  for (std::size_t i = 0; i < n; ++i) {
+    list.push_back(RandomValue(rng, depth + 1));
+  }
+  return AttrValue(std::move(list));
+}
+
+AttributeDatabase RandomDb(Rng& rng) {
+  AttributeDatabase db;
+  const auto n = static_cast<std::size_t>(rng.UniformInt(0, 20));
+  for (std::size_t i = 0; i < n; ++i) {
+    db.Set("attr" + std::to_string(rng.UniformInt(0, 30)), RandomValue(rng));
+  }
+  return db;
+}
+
+class SerializePropertyTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(SerializePropertyTest, AttributeDatabaseRoundTrips) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 50; ++i) {
+    AttributeDatabase db = RandomDb(rng);
+    ByteWriter writer;
+    writer.WriteAttributes(db);
+    ByteReader reader(writer.bytes());
+    auto restored = reader.ReadAttributes();
+    ASSERT_TRUE(restored.ok());
+    EXPECT_EQ(restored->size(), db.size());
+    for (const auto& [name, value] : db) {
+      const AttrValue* restored_value = restored->Get(name);
+      ASSERT_NE(restored_value, nullptr) << name;
+      EXPECT_EQ(*restored_value, value) << name;
+    }
+    EXPECT_TRUE(reader.exhausted());
+  }
+}
+
+TEST_P(SerializePropertyTest, OprRoundTrips) {
+  Rng rng(GetParam() ^ 0xBEEF);
+  for (int i = 0; i < 30; ++i) {
+    Opr opr;
+    opr.object = Loid(LoidSpace::kObject,
+                      static_cast<std::uint32_t>(rng.UniformInt(0, 9)),
+                      rng.Next() % 100000);
+    opr.class_loid = Loid(LoidSpace::kClass, 0, rng.Next() % 1000);
+    opr.attributes = RandomDb(rng);
+    const auto body_len = static_cast<std::size_t>(rng.UniformInt(0, 2000));
+    opr.body.resize(body_len);
+    for (auto& b : opr.body) b = static_cast<std::uint8_t>(rng.Next());
+    opr.saved_at = SimTime(rng.UniformInt(0, 1000000000));
+
+    auto decoded = Opr::Deserialize(opr.Serialize());
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded->object, opr.object);
+    EXPECT_EQ(decoded->class_loid, opr.class_loid);
+    EXPECT_EQ(decoded->body, opr.body);
+    EXPECT_EQ(decoded->saved_at, opr.saved_at);
+    EXPECT_EQ(decoded->attributes.size(), opr.attributes.size());
+  }
+}
+
+TEST_P(SerializePropertyTest, TruncationAlwaysFailsCleanly) {
+  // Every proper prefix of a valid encoding decodes to an error (never a
+  // crash, never a bogus success with trailing garbage semantics).
+  Rng rng(GetParam() ^ 0xCAFE);
+  Opr opr;
+  opr.object = Loid(LoidSpace::kObject, 0, 1);
+  opr.class_loid = Loid(LoidSpace::kClass, 0, 2);
+  opr.attributes = RandomDb(rng);
+  opr.body = {1, 2, 3, 4, 5};
+  auto bytes = opr.Serialize();
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    std::vector<std::uint8_t> prefix(bytes.begin(),
+                                     bytes.begin() + static_cast<long>(cut));
+    auto decoded = Opr::Deserialize(prefix);
+    EXPECT_FALSE(decoded.ok()) << "prefix length " << cut << " decoded";
+  }
+}
+
+TEST_P(SerializePropertyTest, RandomBytesNeverCrashTheDecoder) {
+  Rng rng(GetParam() ^ 0xD00D);
+  for (int i = 0; i < 200; ++i) {
+    std::vector<std::uint8_t> garbage(
+        static_cast<std::size_t>(rng.UniformInt(0, 300)));
+    for (auto& b : garbage) b = static_cast<std::uint8_t>(rng.Next());
+    // Either outcome is fine; not crashing is the property.
+    auto decoded = Opr::Deserialize(garbage);
+    (void)decoded;
+    ByteReader reader(garbage);
+    auto attrs = reader.ReadAttributes();
+    (void)attrs;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SerializePropertyTest,
+                         ::testing::Range<std::uint64_t>(1, 7));
+
+}  // namespace
+}  // namespace legion

@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include "query/query.h"
+
+namespace legion::query {
+namespace {
+
+AttributeDatabase IrixHost(const std::string& version) {
+  AttributeDatabase db;
+  db.Set("host_os_name", "IRIX");
+  db.Set("host_os_version", version);
+  db.Set("host_arch", "mips");
+  db.Set("host_load", 0.4);
+  db.Set("host_cpus", 4);
+  db.Set("host_memory_mb", 512);
+  db.Set("compatible_vaults",
+         AttrValue(AttrList{AttrValue("vault:0/1"), AttrValue("vault:0/2")}));
+  return db;
+}
+
+bool Eval(const std::string& text, const AttributeDatabase& db,
+          const FunctionRegistry* functions = nullptr) {
+  auto query = CompiledQuery::Compile(text);
+  EXPECT_TRUE(query.ok()) << text << ": " << query.status().ToString();
+  if (!query.ok()) return false;
+  return query->Matches(db, functions);
+}
+
+TEST(EvalTest, PaperIrixExample) {
+  // "to find all Hosts running with the IRIX operating system version
+  // 5.x": match($host_os_name, "IRIX") and match("5\..*", $host_os_version)
+  // (the paper applies the second match to the version string).
+  const std::string query =
+      "match($host_os_name, \"IRIX\") and "
+      "match(\"5\\..*\", $host_os_version)";
+  EXPECT_TRUE(Eval(query, IrixHost("5.3")));
+  EXPECT_TRUE(Eval(query, IrixHost("5.11")));
+  EXPECT_FALSE(Eval(query, IrixHost("6.2")));
+  AttributeDatabase linux_host = IrixHost("5.3");
+  linux_host.Set("host_os_name", "Linux");
+  EXPECT_FALSE(Eval(query, linux_host));
+}
+
+TEST(EvalTest, FieldMatchingByEquality) {
+  auto db = IrixHost("5.3");
+  EXPECT_TRUE(Eval("$host_arch == \"mips\"", db));
+  EXPECT_FALSE(Eval("$host_arch == \"x86\"", db));
+  EXPECT_TRUE(Eval("$host_arch != \"x86\"", db));
+  EXPECT_TRUE(Eval("$host_cpus == 4", db));
+}
+
+TEST(EvalTest, SemanticComparisons) {
+  auto db = IrixHost("5.3");
+  EXPECT_TRUE(Eval("$host_load < 0.5", db));
+  EXPECT_FALSE(Eval("$host_load > 0.5", db));
+  EXPECT_TRUE(Eval("$host_cpus >= 4", db));
+  EXPECT_TRUE(Eval("$host_memory_mb >= 256 and $host_memory_mb <= 1024", db));
+  // Cross int/double comparison.
+  EXPECT_TRUE(Eval("$host_cpus > 3.5", db));
+  // String ordering.
+  EXPECT_TRUE(Eval("$host_arch < \"x86\"", db));
+}
+
+TEST(EvalTest, BooleanCombinations) {
+  auto db = IrixHost("5.3");
+  EXPECT_TRUE(Eval("$host_load < 0.5 and $host_cpus == 4", db));
+  EXPECT_TRUE(Eval("$host_load > 0.5 or $host_cpus == 4", db));
+  EXPECT_FALSE(Eval("$host_load > 0.5 and $host_cpus == 4", db));
+  EXPECT_TRUE(Eval("not ($host_load > 0.5)", db));
+}
+
+TEST(EvalTest, MissingAttributeIsNull) {
+  auto db = IrixHost("5.3");
+  EXPECT_FALSE(Eval("$no_such_attr == 1", db));
+  EXPECT_FALSE(Eval("$no_such_attr < 1", db));
+  // != against null is true (they differ).
+  EXPECT_TRUE(Eval("$no_such_attr != 1", db));
+  EXPECT_FALSE(Eval("defined($no_such_attr)", db));
+  EXPECT_TRUE(Eval("defined($host_arch)", db));
+  // match on a missing attribute is simply false, not an error.
+  EXPECT_FALSE(Eval("match(\"x\", $no_such_attr)", db));
+}
+
+TEST(EvalTest, ContainsOnLists) {
+  auto db = IrixHost("5.3");
+  EXPECT_TRUE(Eval("contains($compatible_vaults, \"vault:0/1\")", db));
+  EXPECT_FALSE(Eval("contains($compatible_vaults, \"vault:9/9\")", db));
+  // Scalar degrade: contains == equality.
+  EXPECT_TRUE(Eval("contains($host_arch, \"mips\")", db));
+}
+
+TEST(EvalTest, RegexSearchSemantics) {
+  auto db = IrixHost("5.3");
+  // Substring search (regexp() semantics), not anchored match.
+  EXPECT_TRUE(Eval("match(\"RI\", $host_os_name)", db));
+  EXPECT_TRUE(Eval("match(\"^IRIX$\", $host_os_name)", db));
+  EXPECT_FALSE(Eval("match(\"^RIX\", $host_os_name)", db));
+  EXPECT_TRUE(Eval("match(\"I.I.\", $host_os_name)", db));
+}
+
+TEST(EvalTest, BadRegexReportsError) {
+  auto query = CompiledQuery::Compile("match(\"[unclosed\", $host_os_name)");
+  ASSERT_TRUE(query.ok());  // compiles (pattern checked at eval)
+  Status error;
+  EXPECT_FALSE(query->Matches(IrixHost("5.3"), nullptr, &error));
+  EXPECT_FALSE(error.ok());
+}
+
+TEST(EvalTest, TruthyBareValues) {
+  auto db = IrixHost("5.3");
+  db.Set("flag", true);
+  db.Set("zero", 0);
+  EXPECT_TRUE(Eval("$flag", db));
+  EXPECT_FALSE(Eval("$zero", db));
+  EXPECT_TRUE(Eval("true", db));
+  EXPECT_FALSE(Eval("false", db));
+}
+
+TEST(EvalTest, FunctionInjection) {
+  // The paper's planned extension: "the ability for users to install
+  // code to dynamically compute new description information".
+  FunctionRegistry functions;
+  functions.Register("double_load",
+                     [](const AttributeDatabase& record,
+                        const std::vector<AttrValue>&) -> AttrValue {
+                       return AttrValue(
+                           record.GetOr("host_load", AttrValue(0.0))
+                               .as_double() * 2.0);
+                     });
+  auto db = IrixHost("5.3");  // load 0.4
+  EXPECT_TRUE(Eval("double_load() < 1.0", db, &functions));
+  EXPECT_FALSE(Eval("double_load() < 0.5", db, &functions));
+}
+
+TEST(EvalTest, InjectedFunctionWithArgs) {
+  FunctionRegistry functions;
+  functions.Register("scaled",
+                     [](const AttributeDatabase& record,
+                        const std::vector<AttrValue>& args) -> AttrValue {
+                       return AttrValue(
+                           record.GetOr("host_load", AttrValue(0.0))
+                               .as_double() * args.at(0).as_double());
+                     });
+  auto db = IrixHost("5.3");
+  EXPECT_TRUE(Eval("scaled(10.0) == 4.0", db, &functions));
+}
+
+TEST(EvalTest, UnknownFunctionIsEvalError) {
+  auto query = CompiledQuery::Compile("mystery() == 1");
+  ASSERT_TRUE(query.ok());
+  Status error;
+  EXPECT_FALSE(query->Matches(IrixHost("5.3"), nullptr, &error));
+  EXPECT_EQ(error.code(), ErrorCode::kNotFound);
+}
+
+TEST(EvalTest, ShortCircuitSkipsErrors) {
+  // "false and <error>" short-circuits without evaluating the error.
+  auto db = IrixHost("5.3");
+  Status error;
+  auto query = CompiledQuery::Compile("false and mystery()");
+  ASSERT_TRUE(query.ok());
+  EXPECT_FALSE(query->Matches(db, nullptr, &error));
+  EXPECT_TRUE(error.ok());  // no error surfaced
+}
+
+// Parameterized sweep: threshold queries behave monotonically.
+class ThresholdSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ThresholdSweep, LoadFilterMonotone) {
+  const double threshold = GetParam();
+  auto db = IrixHost("5.3");  // load 0.4
+  const std::string query =
+      "$host_load < " + std::to_string(threshold);
+  EXPECT_EQ(Eval(query, db), 0.4 < threshold);
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, ThresholdSweep,
+                         ::testing::Values(0.0, 0.1, 0.3999, 0.4, 0.41, 0.5,
+                                           1.0, 10.0));
+
+}  // namespace
+}  // namespace legion::query

@@ -1,0 +1,113 @@
+#include "query/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace legion::query {
+namespace {
+
+std::vector<TokenKind> KindsOf(const std::string& text) {
+  auto tokens = Lex(text);
+  EXPECT_TRUE(tokens.ok()) << text;
+  std::vector<TokenKind> kinds;
+  if (tokens.ok()) {
+    for (const auto& token : *tokens) kinds.push_back(token.kind);
+  }
+  return kinds;
+}
+
+TEST(LexerTest, EmptyInputIsJustEnd) {
+  EXPECT_EQ(KindsOf(""), (std::vector<TokenKind>{TokenKind::kEnd}));
+  EXPECT_EQ(KindsOf("   \t\n "), (std::vector<TokenKind>{TokenKind::kEnd}));
+}
+
+TEST(LexerTest, AttributeReferences) {
+  auto tokens = Lex("$host_os_name $load2 $a.b");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kAttr);
+  EXPECT_EQ((*tokens)[0].text, "host_os_name");
+  EXPECT_EQ((*tokens)[1].text, "load2");
+  EXPECT_EQ((*tokens)[2].text, "a.b");
+}
+
+TEST(LexerTest, BareDollarIsError) {
+  EXPECT_FALSE(Lex("$").ok());
+  EXPECT_FALSE(Lex("$ x").ok());
+  EXPECT_FALSE(Lex("$1abc").ok());
+}
+
+TEST(LexerTest, StringsWithEscapes) {
+  auto tokens = Lex(R"("plain" "with \"quote\"" "tab\t" "regex 5\..*")");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].text, "plain");
+  EXPECT_EQ((*tokens)[1].text, "with \"quote\"");
+  EXPECT_EQ((*tokens)[2].text, "tab\t");
+  // Unknown escapes pass through so regexes survive.
+  EXPECT_EQ((*tokens)[3].text, "regex 5\\..*");
+}
+
+TEST(LexerTest, UnterminatedStringIsError) {
+  EXPECT_FALSE(Lex("\"oops").ok());
+}
+
+TEST(LexerTest, Numbers) {
+  auto tokens = Lex("42 -7 3.5 -2.5e3 1e-2");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kInt);
+  EXPECT_EQ((*tokens)[0].int_value, 42);
+  EXPECT_EQ((*tokens)[1].int_value, -7);
+  EXPECT_EQ((*tokens)[2].kind, TokenKind::kDouble);
+  EXPECT_DOUBLE_EQ((*tokens)[2].double_value, 3.5);
+  EXPECT_DOUBLE_EQ((*tokens)[3].double_value, -2500.0);
+  EXPECT_DOUBLE_EQ((*tokens)[4].double_value, 0.01);
+}
+
+TEST(LexerTest, Operators) {
+  EXPECT_EQ(KindsOf("== = != < <= > >="),
+            (std::vector<TokenKind>{TokenKind::kEq, TokenKind::kEq,
+                                    TokenKind::kNe, TokenKind::kLt,
+                                    TokenKind::kLe, TokenKind::kGt,
+                                    TokenKind::kGe, TokenKind::kEnd}));
+}
+
+TEST(LexerTest, BangWithoutEqualsIsError) {
+  EXPECT_FALSE(Lex("!x").ok());
+  EXPECT_FALSE(Lex("a !").ok());
+}
+
+TEST(LexerTest, Punctuation) {
+  EXPECT_EQ(KindsOf("( , )"),
+            (std::vector<TokenKind>{TokenKind::kLParen, TokenKind::kComma,
+                                    TokenKind::kRParen, TokenKind::kEnd}));
+}
+
+TEST(LexerTest, IdentifiersAndKeywords) {
+  auto tokens = Lex("match and or not defined");
+  ASSERT_TRUE(tokens.ok());
+  for (std::size_t i = 0; i + 1 < tokens->size(); ++i) {
+    EXPECT_EQ((*tokens)[i].kind, TokenKind::kIdent);
+  }
+}
+
+TEST(LexerTest, PaperExampleLexesClean) {
+  // The IRIX query from section 3.2.
+  auto tokens = Lex(
+      "match($host_os_name, \"IRIX\") and "
+      "match(\"5\\..*\", $host_os_name)");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ(tokens->size(), 14u);  // 13 tokens + end
+}
+
+TEST(LexerTest, StrayCharacterIsError) {
+  EXPECT_FALSE(Lex("a @ b").ok());
+  EXPECT_FALSE(Lex("#comment").ok());
+}
+
+TEST(LexerTest, OffsetsPointIntoSource) {
+  auto tokens = Lex("abc  $x");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].offset, 0u);
+  EXPECT_EQ((*tokens)[1].offset, 5u);
+}
+
+}  // namespace
+}  // namespace legion::query

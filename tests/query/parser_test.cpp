@@ -1,0 +1,116 @@
+#include "query/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace legion::query {
+namespace {
+
+std::string CanonicalOf(const std::string& text) {
+  auto expr = Parse(text);
+  EXPECT_TRUE(expr.ok()) << text << " -> " << expr.status().ToString();
+  return expr.ok() ? (*expr)->ToString() : "";
+}
+
+TEST(ParserTest, Literals) {
+  EXPECT_EQ(CanonicalOf("42"), "42");
+  EXPECT_EQ(CanonicalOf("\"x\""), "\"x\"");
+  EXPECT_EQ(CanonicalOf("true"), "true");
+  EXPECT_EQ(CanonicalOf("false"), "false");
+  EXPECT_EQ(CanonicalOf("$load"), "$load");
+}
+
+TEST(ParserTest, Comparisons) {
+  EXPECT_EQ(CanonicalOf("$a == 1"), "($a == 1)");
+  EXPECT_EQ(CanonicalOf("$a = 1"), "($a == 1)");  // '=' is a synonym
+  EXPECT_EQ(CanonicalOf("$a != 1"), "($a != 1)");
+  EXPECT_EQ(CanonicalOf("$a < 1"), "($a < 1)");
+  EXPECT_EQ(CanonicalOf("$a <= 1"), "($a <= 1)");
+  EXPECT_EQ(CanonicalOf("$a > 1"), "($a > 1)");
+  EXPECT_EQ(CanonicalOf("$a >= 1"), "($a >= 1)");
+}
+
+TEST(ParserTest, BooleanPrecedence) {
+  // and binds tighter than or.
+  EXPECT_EQ(CanonicalOf("$a and $b or $c"), "(($a and $b) or $c)");
+  EXPECT_EQ(CanonicalOf("$a or $b and $c"), "($a or ($b and $c))");
+}
+
+TEST(ParserTest, NotBindsTightest) {
+  EXPECT_EQ(CanonicalOf("not $a and $b"), "(not ($a) and $b)");
+  EXPECT_EQ(CanonicalOf("not not $a"), "not (not ($a))");
+}
+
+TEST(ParserTest, ParenthesesOverride) {
+  EXPECT_EQ(CanonicalOf("$a and ($b or $c)"), "($a and ($b or $c))");
+}
+
+TEST(ParserTest, KeywordsCaseInsensitive) {
+  EXPECT_EQ(CanonicalOf("$a AND $b"), "($a and $b)");
+  EXPECT_EQ(CanonicalOf("$a Or $b"), "($a or $b)");
+  EXPECT_EQ(CanonicalOf("NOT $a"), "not ($a)");
+  EXPECT_EQ(CanonicalOf("TRUE"), "true");
+}
+
+TEST(ParserTest, MatchPatternFirstForm) {
+  // Footnote-corrected order: regex first.
+  EXPECT_EQ(CanonicalOf("match(\"5\\..*\", $os)"),
+            "match(\"5\\..*\", $os)");
+}
+
+TEST(ParserTest, MatchAttrFirstFormSwapsToPattern) {
+  // The paper's own first example has the attr first; the literal is
+  // the pattern.
+  EXPECT_EQ(CanonicalOf("match($os, \"IRIX\")"), "match(\"IRIX\", $os)");
+}
+
+TEST(ParserTest, MatchTwoLiteralsKeepsOrder) {
+  EXPECT_EQ(CanonicalOf("match(\"a\", \"b\")"), "match(\"a\", \"b\")");
+}
+
+TEST(ParserTest, DefinedAndContains) {
+  EXPECT_EQ(CanonicalOf("defined($x)"), "defined($x)");
+  EXPECT_EQ(CanonicalOf("exists($x)"), "defined($x)");
+  EXPECT_EQ(CanonicalOf("contains($list, \"v\")"),
+            "contains($list, \"v\")");
+}
+
+TEST(ParserTest, UnknownCallBecomesInjected) {
+  EXPECT_EQ(CanonicalOf("forecast_load()"), "forecast_load()");
+  EXPECT_EQ(CanonicalOf("f($a, 1, \"s\")"), "f($a, 1, \"s\")");
+}
+
+TEST(ParserTest, PaperIrixQuery) {
+  const std::string canonical = CanonicalOf(
+      "match($host_os_name, \"IRIX\") and "
+      "match(\"5\\..*\", $host_os_name)");
+  EXPECT_EQ(canonical,
+            "(match(\"IRIX\", $host_os_name) and "
+            "match(\"5\\..*\", $host_os_name))");
+}
+
+TEST(ParserTest, ErrorCases) {
+  EXPECT_FALSE(Parse("").ok());
+  EXPECT_FALSE(Parse("$a ==").ok());
+  EXPECT_FALSE(Parse("($a").ok());
+  EXPECT_FALSE(Parse("$a $b").ok());          // trailing input
+  EXPECT_FALSE(Parse("and $a").ok());         // keyword as value
+  EXPECT_FALSE(Parse("match($a)").ok());      // arity
+  EXPECT_FALSE(Parse("match($a, $b, $c)").ok());
+  EXPECT_FALSE(Parse("defined(1)").ok());     // needs attr ref
+  EXPECT_FALSE(Parse("defined($a, $b)").ok());
+  EXPECT_FALSE(Parse("contains($a)").ok());
+  EXPECT_FALSE(Parse("f(").ok());
+  EXPECT_FALSE(Parse("bare_ident_no_parens").ok());
+}
+
+TEST(ParserTest, ComparisonOfCalls) {
+  EXPECT_EQ(CanonicalOf("forecast_load() < 0.5"),
+            "(forecast_load() < 0.5)");
+}
+
+TEST(ParserTest, DeeplyNestedParens) {
+  EXPECT_EQ(CanonicalOf("((((($a)))))"), "$a");
+}
+
+}  // namespace
+}  // namespace legion::query

@@ -1,0 +1,212 @@
+#include "resources/queue_system.h"
+
+#include <gtest/gtest.h>
+
+namespace legion {
+namespace {
+
+BatchJob Job(std::uint64_t id, double cpus = 1.0,
+             Duration runtime = Duration::Minutes(30), SimTime submitted = {}) {
+  BatchJob job;
+  job.id = id;
+  job.instances = {Loid(LoidSpace::kObject, 0, id)};
+  job.cpu_fraction = cpus;
+  job.estimated_runtime = runtime;
+  job.submitted = submitted;
+  return job;
+}
+
+TEST(FifoQueueTest, StartsInOrderUpToSlots) {
+  FifoQueue queue(2.0);
+  std::vector<std::uint64_t> started;
+  queue.SetCallbacks([&](const BatchJob& job) { started.push_back(job.id); },
+                     nullptr);
+  for (std::uint64_t i = 1; i <= 4; ++i) queue.Submit(Job(i));
+  queue.Poll(SimTime(0));
+  EXPECT_EQ(started, (std::vector<std::uint64_t>{1, 2}));
+  EXPECT_EQ(queue.queued_count(), 2u);
+  EXPECT_EQ(queue.running_count(), 2u);
+}
+
+TEST(FifoQueueTest, StrictFcfsBlocksBehindBigJob) {
+  FifoQueue queue(2.0);
+  std::vector<std::uint64_t> started;
+  queue.SetCallbacks([&](const BatchJob& job) { started.push_back(job.id); },
+                     nullptr);
+  queue.Submit(Job(1, 2.0));  // fills the machine
+  queue.Submit(Job(2, 2.0));  // must wait
+  queue.Submit(Job(3, 0.5));  // FIFO: must also wait (no backfill)
+  queue.Poll(SimTime(0));
+  EXPECT_EQ(started, (std::vector<std::uint64_t>{1}));
+  queue.JobFinished(1);
+  queue.Poll(SimTime(1));
+  EXPECT_EQ(started, (std::vector<std::uint64_t>{1, 2}));
+}
+
+TEST(FifoQueueTest, JobFinishedFreesSlot) {
+  FifoQueue queue(1.0);
+  int starts = 0;
+  queue.SetCallbacks([&](const BatchJob&) { ++starts; }, nullptr);
+  queue.Submit(Job(1));
+  queue.Submit(Job(2));
+  queue.Poll(SimTime(0));
+  EXPECT_EQ(starts, 1);
+  queue.JobFinished(1);
+  queue.Poll(SimTime(1));
+  EXPECT_EQ(starts, 2);
+}
+
+TEST(QueueSystemTest, CancelQueuedJob) {
+  FifoQueue queue(1.0);
+  queue.Submit(Job(1, 2.0));  // cannot start (too big) -- stays queued
+  EXPECT_TRUE(queue.Cancel(1));
+  EXPECT_FALSE(queue.Cancel(1));
+  EXPECT_EQ(queue.queued_count(), 0u);
+}
+
+TEST(QueueSystemTest, WaitEstimateGrowsWithBacklog) {
+  FifoQueue queue(2.0);
+  const Duration empty_wait = queue.EstimateWait(SimTime(0));
+  for (std::uint64_t i = 1; i <= 10; ++i) {
+    queue.Submit(Job(i, 1.0, Duration::Hours(1)));
+  }
+  EXPECT_GT(queue.EstimateWait(SimTime(0)), empty_wait);
+  EXPECT_NEAR(queue.EstimateWait(SimTime(0)).seconds(), 5 * 3600.0, 1.0);
+}
+
+TEST(CondorLikeQueueTest, OwnerReturnVacatesAndRequeues) {
+  CondorLikeQueue queue(4.0, /*owner_return_prob=*/1.0, /*seed=*/5);
+  std::vector<std::uint64_t> started, vacated;
+  queue.SetCallbacks([&](const BatchJob& job) { started.push_back(job.id); },
+                     [&](const BatchJob& job) { vacated.push_back(job.id); });
+  queue.Submit(Job(1));
+  queue.Poll(SimTime(0));
+  ASSERT_EQ(started.size(), 1u);
+  // Next poll: the owner returns (p=1), the job is vacated and restarts.
+  queue.Poll(SimTime(1));
+  EXPECT_EQ(vacated, (std::vector<std::uint64_t>{1}));
+  EXPECT_EQ(started.size(), 2u);  // restarted within the same cycle
+  EXPECT_EQ(queue.jobs_vacated(), 1u);
+}
+
+TEST(CondorLikeQueueTest, NoPreemptionWhenOwnersAway) {
+  CondorLikeQueue queue(4.0, /*owner_return_prob=*/0.0, /*seed=*/5);
+  int vacates = 0;
+  queue.SetCallbacks(nullptr, [&](const BatchJob&) { ++vacates; });
+  queue.Submit(Job(1));
+  for (int i = 0; i < 50; ++i) queue.Poll(SimTime(i));
+  EXPECT_EQ(vacates, 0);
+}
+
+TEST(LoadLevelerLikeQueueTest, ShortJobsJumpTheQueue) {
+  LoadLevelerLikeQueue queue(1.0);
+  std::vector<std::uint64_t> started;
+  queue.SetCallbacks([&](const BatchJob& job) { started.push_back(job.id); },
+                     nullptr);
+  queue.Submit(Job(1, 1.0, Duration::Hours(8)));   // class 0
+  queue.Submit(Job(2, 1.0, Duration::Minutes(5))); // class 3
+  queue.Submit(Job(3, 1.0, Duration::Hours(2)));   // class 1
+  queue.Poll(SimTime(0));
+  ASSERT_EQ(started.size(), 1u);
+  EXPECT_EQ(started[0], 2u);  // the short job wins
+  queue.JobFinished(2);
+  queue.Poll(SimTime(1));
+  EXPECT_EQ(started[1], 3u);  // then the medium one
+}
+
+TEST(LoadLevelerLikeQueueTest, AgingEventuallyPromotesLongJobs) {
+  LoadLevelerLikeQueue queue(1.0, /*aging=*/Duration::Minutes(10));
+  std::vector<std::uint64_t> started;
+  queue.SetCallbacks([&](const BatchJob& job) { started.push_back(job.id); },
+                     nullptr);
+  // An old long job vs a fresh short job: age credit (4 classes' worth
+  // after 40+ minutes) beats the class gap of 3.
+  queue.Submit(Job(1, 1.0, Duration::Hours(8),
+                   SimTime(0)));  // submitted at t=0
+  const SimTime now = SimTime(0) + Duration::Minutes(50);
+  BatchJob fresh = Job(2, 1.0, Duration::Minutes(5), now);
+  queue.Submit(fresh);
+  queue.Poll(now);
+  ASSERT_EQ(started.size(), 1u);
+  EXPECT_EQ(started[0], 1u);
+}
+
+TEST(LoadLevelerLikeQueueTest, ClassOfBoundaries) {
+  EXPECT_EQ(LoadLevelerLikeQueue::ClassOf(Job(1, 1, Duration::Minutes(10))), 3);
+  EXPECT_EQ(LoadLevelerLikeQueue::ClassOf(Job(1, 1, Duration::Minutes(30))), 2);
+  EXPECT_EQ(LoadLevelerLikeQueue::ClassOf(Job(1, 1, Duration::Hours(2))), 1);
+  EXPECT_EQ(LoadLevelerLikeQueue::ClassOf(Job(1, 1, Duration::Hours(8))), 0);
+}
+
+TEST(MauiLikeQueueTest, SupportsReservations) {
+  MauiLikeQueue queue(4.0);
+  EXPECT_TRUE(queue.SupportsReservations());
+  FifoQueue fifo(4.0);
+  EXPECT_FALSE(fifo.SupportsReservations());
+}
+
+TEST(MauiLikeQueueTest, ReservationWindowBlocksConflictingBackfill) {
+  MauiLikeQueue queue(2.0);
+  std::vector<std::uint64_t> started;
+  queue.SetCallbacks([&](const BatchJob& job) { started.push_back(job.id); },
+                     nullptr);
+  // Reserve both CPUs for [10min, 70min).
+  queue.AddReservationWindow(SimTime(0) + Duration::Minutes(10),
+                             SimTime(0) + Duration::Minutes(70), 2.0);
+  // A 30-minute job submitted now would overrun into the window: blocked.
+  queue.Submit(Job(1, 2.0, Duration::Minutes(30)));
+  queue.Poll(SimTime(0));
+  EXPECT_TRUE(started.empty());
+  // A 5-minute job fits before the window: backfilled.
+  queue.Submit(Job(2, 2.0, Duration::Minutes(5)));
+  queue.Poll(SimTime(0));
+  EXPECT_EQ(started, (std::vector<std::uint64_t>{2}));
+}
+
+TEST(MauiLikeQueueTest, ReservedJobStartsInItsWindow) {
+  MauiLikeQueue queue(2.0);
+  std::vector<std::uint64_t> started;
+  queue.SetCallbacks([&](const BatchJob& job) { started.push_back(job.id); },
+                     nullptr);
+  const SimTime window_start = SimTime(0) + Duration::Minutes(10);
+  const SimTime window_end = SimTime(0) + Duration::Minutes(70);
+  queue.AddReservationWindow(window_start, window_end, 1.0);
+  BatchJob reserved = Job(1, 1.0, Duration::Minutes(60));
+  reserved.reserved = true;
+  reserved.window_start = window_start;
+  reserved.window_end = window_end;
+  queue.Submit(reserved);
+  queue.Poll(SimTime(0));
+  EXPECT_TRUE(started.empty());  // window not open
+  queue.Poll(window_start);
+  EXPECT_EQ(started, (std::vector<std::uint64_t>{1}));
+}
+
+TEST(MauiLikeQueueTest, ReservedAtAggregatesWindows) {
+  MauiLikeQueue queue(8.0);
+  queue.AddReservationWindow(SimTime(100), SimTime(200), 2.0);
+  queue.AddReservationWindow(SimTime(150), SimTime(250), 3.0);
+  EXPECT_DOUBLE_EQ(queue.ReservedAt(SimTime(99)), 0.0);
+  EXPECT_DOUBLE_EQ(queue.ReservedAt(SimTime(120)), 2.0);
+  EXPECT_DOUBLE_EQ(queue.ReservedAt(SimTime(180)), 5.0);
+  EXPECT_DOUBLE_EQ(queue.ReservedAt(SimTime(220)), 3.0);
+  queue.RemoveReservationWindow(SimTime(100), SimTime(200), 2.0);
+  EXPECT_DOUBLE_EQ(queue.ReservedAt(SimTime(120)), 0.0);
+  EXPECT_EQ(queue.window_count(), 1u);
+}
+
+TEST(MauiLikeQueueTest, BackfillSkipsBlockedHeadJob) {
+  MauiLikeQueue queue(2.0);
+  std::vector<std::uint64_t> started;
+  queue.SetCallbacks([&](const BatchJob& job) { started.push_back(job.id); },
+                     nullptr);
+  queue.AddReservationWindow(SimTime(0) + Duration::Minutes(20),
+                             SimTime(0) + Duration::Minutes(90), 2.0);
+  queue.Submit(Job(1, 2.0, Duration::Hours(1)));    // blocked by the window
+  queue.Submit(Job(2, 1.0, Duration::Minutes(10))); // fits before it
+  queue.Poll(SimTime(0));
+  EXPECT_EQ(started, (std::vector<std::uint64_t>{2}));
+}
+
+}  // namespace
+}  // namespace legion

@@ -1,0 +1,132 @@
+#include "resources/vault_object.h"
+
+#include <gtest/gtest.h>
+
+#include "test_world.h"
+
+namespace legion {
+namespace {
+
+using testing::Await;
+
+class VaultObjectTest : public ::testing::Test {
+ protected:
+  VaultObjectTest() {
+    VaultSpec spec;
+    spec.name = "vault";
+    spec.domain = 2;
+    spec.capacity_mb = 1;  // 1 MiB, easy to fill
+    spec.cost_per_mb = 0.5;
+    vault_ = kernel_.AddActor<VaultObject>(
+        kernel_.minter().Mint(LoidSpace::kVault, 2), spec);
+  }
+
+  Opr MakeOpr(std::uint64_t serial, std::size_t body_bytes = 100) {
+    Opr opr;
+    opr.object = Loid(LoidSpace::kObject, 0, serial);
+    opr.class_loid = Loid(LoidSpace::kClass, 0, 1);
+    opr.body.assign(body_bytes, 0x55);
+    return opr;
+  }
+
+  SimKernel kernel_;
+  VaultObject* vault_;
+};
+
+TEST_F(VaultObjectTest, StoreFetchDeleteRoundTrip) {
+  Await<bool> stored;
+  vault_->StoreOpr(MakeOpr(1), stored.Sink());
+  EXPECT_TRUE(*stored.Get());
+  EXPECT_EQ(vault_->stored_count(), 1u);
+
+  Await<Opr> fetched;
+  vault_->FetchOpr(Loid(LoidSpace::kObject, 0, 1), fetched.Sink());
+  ASSERT_TRUE(fetched.Get().ok());
+  EXPECT_EQ(fetched.Get()->body.size(), 100u);
+
+  Await<bool> deleted;
+  vault_->DeleteOpr(Loid(LoidSpace::kObject, 0, 1), deleted.Sink());
+  EXPECT_TRUE(*deleted.Get());
+  EXPECT_EQ(vault_->stored_count(), 0u);
+  EXPECT_EQ(vault_->used_bytes(), 0u);
+}
+
+TEST_F(VaultObjectTest, FetchMissingFails) {
+  Await<Opr> fetched;
+  vault_->FetchOpr(Loid(LoidSpace::kObject, 0, 9), fetched.Sink());
+  EXPECT_EQ(fetched.Get().code(), ErrorCode::kNotFound);
+  Await<bool> deleted;
+  vault_->DeleteOpr(Loid(LoidSpace::kObject, 0, 9), deleted.Sink());
+  EXPECT_FALSE(*deleted.Get());
+}
+
+TEST_F(VaultObjectTest, CapacityEnforced) {
+  // ~0.5 MiB each; the third exceeds the 1 MiB capacity.
+  Await<bool> a, b, c;
+  vault_->StoreOpr(MakeOpr(1, 512 * 1024), a.Sink());
+  vault_->StoreOpr(MakeOpr(2, 400 * 1024), b.Sink());
+  vault_->StoreOpr(MakeOpr(3, 512 * 1024), c.Sink());
+  EXPECT_TRUE(*a.Get());
+  EXPECT_TRUE(*b.Get());
+  EXPECT_EQ(c.Get().code(), ErrorCode::kNoResources);
+}
+
+TEST_F(VaultObjectTest, OverwriteReplacesNotAccumulates) {
+  Await<bool> first, second;
+  vault_->StoreOpr(MakeOpr(1, 700 * 1024), first.Sink());
+  ASSERT_TRUE(*first.Get());
+  // Rewriting the same object's OPR replaces the old bytes, so this
+  // still fits.
+  vault_->StoreOpr(MakeOpr(1, 800 * 1024), second.Sink());
+  EXPECT_TRUE(*second.Get());
+  EXPECT_EQ(vault_->stored_count(), 1u);
+}
+
+TEST_F(VaultObjectTest, AccruesCost) {
+  Await<bool> stored;
+  vault_->StoreOpr(MakeOpr(1, 512 * 1024), stored.Sink());
+  ASSERT_TRUE(*stored.Get());
+  EXPECT_NEAR(vault_->accrued_cost(), 0.5 * 0.5, 0.01);
+}
+
+TEST_F(VaultObjectTest, CompatibilityByArch) {
+  VaultSpec spec;
+  spec.domain = 2;
+  spec.compatible_arches = {"x86", "alpha"};
+  auto* picky = kernel_.AddActor<VaultObject>(
+      kernel_.minter().Mint(LoidSpace::kVault, 2), spec);
+  EXPECT_TRUE(picky->CompatibleWith(2, "x86"));
+  EXPECT_TRUE(picky->CompatibleWith(2, "alpha"));
+  EXPECT_FALSE(picky->CompatibleWith(2, "sparc"));
+}
+
+TEST_F(VaultObjectTest, CompatibilityByDomainPrivacy) {
+  VaultSpec spec;
+  spec.domain = 2;
+  spec.public_access = false;
+  auto* private_vault = kernel_.AddActor<VaultObject>(
+      kernel_.minter().Mint(LoidSpace::kVault, 2), spec);
+  EXPECT_TRUE(private_vault->CompatibleWith(2, "x86"));
+  EXPECT_FALSE(private_vault->CompatibleWith(3, "x86"));
+  // Public vault accepts any domain.
+  EXPECT_TRUE(vault_->CompatibleWith(7, "x86"));
+}
+
+TEST_F(VaultObjectTest, ProbeAnswersCompatibility) {
+  Await<bool> yes;
+  vault_->Probe(0, "x86", yes.Sink());
+  EXPECT_TRUE(*yes.Get());
+}
+
+TEST_F(VaultObjectTest, AttributesExported) {
+  const AttributeDatabase& attrs = vault_->attributes();
+  EXPECT_EQ(attrs.Get("vault_domain")->as_int(), 2);
+  EXPECT_EQ(attrs.Get("vault_capacity_mb")->as_int(), 1);
+  EXPECT_TRUE(attrs.Get("vault_public")->as_bool());
+  Await<bool> stored;
+  vault_->StoreOpr(MakeOpr(1), stored.Sink());
+  EXPECT_EQ(vault_->attributes().Get("vault_stored_oprs")->as_int(), 1);
+}
+
+}  // namespace
+}  // namespace legion

@@ -1,0 +1,100 @@
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+namespace legion {
+namespace {
+
+TEST(EventQueueTest, OrdersByTime) {
+  EventQueue q;
+  std::vector<int> order;
+  q.Schedule(SimTime(30), [&] { order.push_back(3); });
+  q.Schedule(SimTime(10), [&] { order.push_back(1); });
+  q.Schedule(SimTime(20), [&] { order.push_back(2); });
+  while (!q.empty()) q.Pop().fn();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, TiesBreakByScheduleOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.Schedule(SimTime(5), [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.Pop().fn();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueueTest, CancelPreventsExecution) {
+  EventQueue q;
+  bool ran = false;
+  EventId id = q.Schedule(SimTime(10), [&] { ran = true; });
+  EXPECT_TRUE(q.Cancel(id));
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventQueueTest, CancelTwiceFails) {
+  EventQueue q;
+  EventId id = q.Schedule(SimTime(10), [] {});
+  EXPECT_TRUE(q.Cancel(id));
+  EXPECT_FALSE(q.Cancel(id));
+}
+
+TEST(EventQueueTest, CancelAfterRunFails) {
+  EventQueue q;
+  EventId id = q.Schedule(SimTime(10), [] {});
+  q.Pop().fn();
+  EXPECT_FALSE(q.Cancel(id));
+}
+
+TEST(EventQueueTest, CancelBogusIdFails) {
+  EventQueue q;
+  EXPECT_FALSE(q.Cancel(kInvalidEventId));
+  EXPECT_FALSE(q.Cancel(999));
+}
+
+TEST(EventQueueTest, NextTimeSkipsCancelled) {
+  EventQueue q;
+  EventId early = q.Schedule(SimTime(10), [] {});
+  q.Schedule(SimTime(20), [] {});
+  q.Cancel(early);
+  EXPECT_EQ(q.NextTime(), SimTime(20));
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueueTest, EmptyNextTimeIsMax) {
+  EventQueue q;
+  EXPECT_EQ(q.NextTime(), SimTime::Max());
+}
+
+TEST(EventQueueTest, SizeTracksLiveEvents) {
+  EventQueue q;
+  EventId a = q.Schedule(SimTime(1), [] {});
+  q.Schedule(SimTime(2), [] {});
+  EXPECT_EQ(q.size(), 2u);
+  q.Cancel(a);
+  EXPECT_EQ(q.size(), 1u);
+  q.Pop();
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueTest, ManyInterleavedOperations) {
+  EventQueue q;
+  std::vector<EventId> ids;
+  int run_count = 0;
+  for (int i = 0; i < 1000; ++i) {
+    ids.push_back(q.Schedule(SimTime(i % 50), [&] { ++run_count; }));
+  }
+  // Cancel every third event.
+  int cancelled = 0;
+  for (std::size_t i = 0; i < ids.size(); i += 3) {
+    if (q.Cancel(ids[i])) ++cancelled;
+  }
+  while (!q.empty()) q.Pop().fn();
+  EXPECT_EQ(run_count + cancelled, 1000);
+}
+
+}  // namespace
+}  // namespace legion

@@ -1,0 +1,150 @@
+#include "sim/network.h"
+
+#include <gtest/gtest.h>
+
+namespace legion {
+namespace {
+
+Loid Endpoint(std::uint64_t serial) {
+  return Loid(LoidSpace::kHost, 0, serial);
+}
+
+NetworkParams QuietParams() {
+  NetworkParams params;
+  params.jitter_fraction = 0.0;
+  params.intra_domain_latency = Duration::Micros(300);
+  params.inter_domain_latency = Duration::Millis(30);
+  return params;
+}
+
+TEST(NetworkTest, EndpointRegistration) {
+  NetworkModel net(QuietParams());
+  EXPECT_FALSE(net.HasEndpoint(Endpoint(1)));
+  net.RegisterEndpoint(Endpoint(1), 3);
+  EXPECT_TRUE(net.HasEndpoint(Endpoint(1)));
+  EXPECT_EQ(net.DomainOf(Endpoint(1)), 3u);
+  net.UnregisterEndpoint(Endpoint(1));
+  EXPECT_FALSE(net.HasEndpoint(Endpoint(1)));
+  EXPECT_FALSE(net.DomainOf(Endpoint(1)).has_value());
+}
+
+TEST(NetworkTest, UnregisteredEndpointsAreLocal) {
+  NetworkModel net(QuietParams());
+  auto latency = net.Latency(Endpoint(1), Endpoint(2), 100, SimTime::Zero());
+  ASSERT_TRUE(latency.has_value());
+  EXPECT_EQ(*latency, Duration::Zero());
+}
+
+TEST(NetworkTest, SelfSendIsFree) {
+  NetworkModel net(QuietParams());
+  net.RegisterEndpoint(Endpoint(1), 0);
+  auto latency = net.Latency(Endpoint(1), Endpoint(1), 100, SimTime::Zero());
+  ASSERT_TRUE(latency.has_value());
+  EXPECT_EQ(*latency, Duration::Zero());
+}
+
+TEST(NetworkTest, IntraVsInterDomainLatency) {
+  NetworkModel net(QuietParams());
+  net.RegisterEndpoint(Endpoint(1), 0);
+  net.RegisterEndpoint(Endpoint(2), 0);
+  net.RegisterEndpoint(Endpoint(3), 1);
+  auto intra = net.Latency(Endpoint(1), Endpoint(2), 0, SimTime::Zero());
+  auto inter = net.Latency(Endpoint(1), Endpoint(3), 0, SimTime::Zero());
+  ASSERT_TRUE(intra.has_value());
+  ASSERT_TRUE(inter.has_value());
+  EXPECT_EQ(*intra, Duration::Micros(300));
+  EXPECT_EQ(*inter, Duration::Millis(30));
+}
+
+TEST(NetworkTest, BandwidthScalesWithPayload) {
+  NetworkParams params = QuietParams();
+  params.intra_domain_bandwidth_bps = 8e6;  // 1 MB/s
+  NetworkModel net(params);
+  net.RegisterEndpoint(Endpoint(1), 0);
+  net.RegisterEndpoint(Endpoint(2), 0);
+  auto small = net.Latency(Endpoint(1), Endpoint(2), 0, SimTime::Zero());
+  auto big = net.Latency(Endpoint(1), Endpoint(2), 1 << 20, SimTime::Zero());
+  ASSERT_TRUE(small && big);
+  // 1 MiB at 1 MB/s is about a second more than the empty message.
+  EXPECT_NEAR((*big - *small).seconds(), 1.05, 0.05);
+}
+
+TEST(NetworkTest, PairLatencyOverride) {
+  NetworkModel net(QuietParams());
+  net.RegisterEndpoint(Endpoint(1), 0);
+  net.RegisterEndpoint(Endpoint(2), 5);
+  net.SetPairLatency(0, 5, Duration::Millis(120));
+  auto latency = net.Latency(Endpoint(1), Endpoint(2), 0, SimTime::Zero());
+  ASSERT_TRUE(latency.has_value());
+  EXPECT_EQ(*latency, Duration::Millis(120));
+  // Order-independent.
+  auto reverse = net.Latency(Endpoint(2), Endpoint(1), 0, SimTime::Zero());
+  EXPECT_EQ(*reverse, Duration::Millis(120));
+}
+
+TEST(NetworkTest, LossDropsMessages) {
+  NetworkParams params = QuietParams();
+  params.inter_domain_loss = 1.0;
+  NetworkModel net(params);
+  net.RegisterEndpoint(Endpoint(1), 0);
+  net.RegisterEndpoint(Endpoint(2), 1);
+  EXPECT_FALSE(
+      net.Latency(Endpoint(1), Endpoint(2), 0, SimTime::Zero()).has_value());
+  EXPECT_EQ(net.messages_lost(), 1u);
+  // Intra-domain traffic is unaffected.
+  net.RegisterEndpoint(Endpoint(3), 0);
+  EXPECT_TRUE(
+      net.Latency(Endpoint(1), Endpoint(3), 0, SimTime::Zero()).has_value());
+}
+
+TEST(NetworkTest, PartitionWindows) {
+  NetworkModel net(QuietParams());
+  net.RegisterEndpoint(Endpoint(1), 0);
+  net.RegisterEndpoint(Endpoint(2), 1);
+  net.AddPartition(0, 1, SimTime(1000), SimTime(2000));
+  EXPECT_TRUE(net.Latency(Endpoint(1), Endpoint(2), 0, SimTime(999)).has_value());
+  EXPECT_FALSE(net.Latency(Endpoint(1), Endpoint(2), 0, SimTime(1000)).has_value());
+  EXPECT_FALSE(net.Latency(Endpoint(2), Endpoint(1), 0, SimTime(1500)).has_value());
+  EXPECT_TRUE(net.Latency(Endpoint(1), Endpoint(2), 0, SimTime(2000)).has_value());
+  EXPECT_EQ(net.messages_partitioned(), 2u);
+}
+
+TEST(NetworkTest, JitterStaysWithinFraction) {
+  NetworkParams params = QuietParams();
+  params.jitter_fraction = 0.1;
+  NetworkModel net(params);
+  net.RegisterEndpoint(Endpoint(1), 0);
+  net.RegisterEndpoint(Endpoint(2), 1);
+  for (int i = 0; i < 200; ++i) {
+    auto latency = net.Latency(Endpoint(1), Endpoint(2), 0, SimTime::Zero());
+    ASSERT_TRUE(latency.has_value());
+    EXPECT_GE(latency->micros(), 27000);
+    EXPECT_LE(latency->micros(), 33000);
+  }
+}
+
+TEST(NetworkTest, ExpectedLatencyIsDeterministic) {
+  NetworkParams params = QuietParams();
+  params.jitter_fraction = 0.25;
+  NetworkModel net(params);
+  net.RegisterEndpoint(Endpoint(1), 0);
+  net.RegisterEndpoint(Endpoint(2), 1);
+  const Duration first = net.ExpectedLatency(Endpoint(1), Endpoint(2), 1024);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(net.ExpectedLatency(Endpoint(1), Endpoint(2), 1024), first);
+  }
+  EXPECT_GT(first, Duration::Millis(29));
+}
+
+TEST(NetworkTest, OfferedCounterCounts) {
+  NetworkModel net(QuietParams());
+  net.RegisterEndpoint(Endpoint(1), 0);
+  net.RegisterEndpoint(Endpoint(2), 0);
+  for (int i = 0; i < 5; ++i) {
+    net.Latency(Endpoint(1), Endpoint(2), 0, SimTime::Zero());
+  }
+  EXPECT_EQ(net.messages_offered(), 5u);
+}
+
+}  // namespace
+}  // namespace legion

@@ -1,0 +1,109 @@
+#include "workload/executor.h"
+
+#include <gtest/gtest.h>
+
+#include "test_world.h"
+#include "workload/app_model.h"
+
+namespace legion {
+namespace {
+
+using testing::Await;
+using testing::TestWorld;
+
+class ExecutorTest : public ::testing::Test {
+ protected:
+  ExecutorTest() : world_(testing::TestWorldConfig{.hosts = 4, .domains = 2}) {
+    klass_ = world_.MakeClass("app");
+  }
+
+  std::vector<Loid> HostsByIndex(std::initializer_list<std::size_t> indices) {
+    std::vector<Loid> hosts;
+    for (std::size_t i : indices) hosts.push_back(world_.hosts[i]->loid());
+    return hosts;
+  }
+
+  TestWorld world_;
+  ClassObject* klass_;
+};
+
+TEST_F(ExecutorTest, ComputeOnlyMakespan) {
+  // 1000 MIPS-s on a default 100-MIPS idle host: 10 s x 4 iterations.
+  ApplicationSpec app = MakeParameterStudy(1, 1000.0);
+  app.iterations = 4;
+  auto breakdown = EstimateMakespan(world_.kernel, app, HostsByIndex({0}));
+  EXPECT_NEAR(breakdown.makespan.seconds(), 40.0, 0.5);
+  EXPECT_EQ(breakdown.total_edges, 0u);
+  EXPECT_EQ(breakdown.inter_domain_edges, 0u);
+}
+
+TEST_F(ExecutorTest, BarrierWaitsForSlowest) {
+  ApplicationSpec app = MakeParameterStudy(2, 1000.0);
+  app.work[1] = 3000.0;  // one straggler
+  auto breakdown =
+      EstimateMakespan(world_.kernel, app, HostsByIndex({0, 1}));
+  EXPECT_NEAR(breakdown.makespan.seconds(), 30.0, 0.5);
+}
+
+TEST_F(ExecutorTest, MultiplexedHostIsSlower) {
+  ApplicationSpec app = MakeParameterStudy(1, 1000.0);
+  auto idle = EstimateMakespan(world_.kernel, app, HostsByIndex({0}));
+  // Put 8 objects on host 0 (4 CPUs): everyone halves.
+  for (int i = 0; i < 8; ++i) {
+    PlacementSuggestion suggestion;
+    suggestion.host = world_.hosts[0]->loid();
+    suggestion.vault = world_.vaults[0]->loid();
+    Await<Loid> placed;
+    klass_->CreateInstance(suggestion, placed.Sink());
+    world_.Run();
+    ASSERT_TRUE(placed.Get().ok());
+  }
+  auto loaded = EstimateMakespan(world_.kernel, app, HostsByIndex({0}));
+  EXPECT_GT(loaded.makespan.seconds(), idle.makespan.seconds() * 1.8);
+}
+
+TEST_F(ExecutorTest, CrossDomainCommunicationDominates) {
+  // Hosts 0 and 2 share domain 0; host 1 is in domain 1.
+  ApplicationSpec app = MakeStencil2D(1, 2, 10.0, 64 * 1024, 100);
+  auto local =
+      EstimateMakespan(world_.kernel, app, HostsByIndex({0, 2}));
+  auto wan = EstimateMakespan(world_.kernel, app, HostsByIndex({0, 1}));
+  EXPECT_EQ(local.inter_domain_edges, 0u);
+  EXPECT_EQ(wan.inter_domain_edges, 2u);
+  EXPECT_GT(wan.comm_time, local.comm_time * 5.0);
+  EXPECT_GT(wan.makespan, local.makespan);
+}
+
+TEST_F(ExecutorTest, DollarsTrackHostCost) {
+  ApplicationSpec app = MakeParameterStudy(1, 1000.0);
+  // Default TestWorld hosts cost nothing.
+  auto free = EstimateMakespan(world_.kernel, app, HostsByIndex({0}));
+  EXPECT_DOUBLE_EQ(free.dollars, 0.0);
+}
+
+TEST_F(ExecutorTest, MismatchedPlacementYieldsZero) {
+  ApplicationSpec app = MakeParameterStudy(3, 100.0);
+  auto breakdown = EstimateMakespan(world_.kernel, app, HostsByIndex({0}));
+  EXPECT_EQ(breakdown.makespan, Duration::Zero());
+}
+
+TEST_F(ExecutorTest, HostsOfMappingsPreservesOrder) {
+  std::vector<ObjectMapping> mappings(3);
+  mappings[0].host = world_.hosts[2]->loid();
+  mappings[1].host = world_.hosts[0]->loid();
+  mappings[2].host = world_.hosts[1]->loid();
+  auto hosts = HostsOfMappings(mappings);
+  EXPECT_EQ(hosts[0], world_.hosts[2]->loid());
+  EXPECT_EQ(hosts[1], world_.hosts[0]->loid());
+  EXPECT_EQ(hosts[2], world_.hosts[1]->loid());
+}
+
+TEST_F(ExecutorTest, MaxHostLoadReported) {
+  world_.hosts[0]->SpikeLoad(2.5);
+  ApplicationSpec app = MakeParameterStudy(1, 100.0);
+  auto breakdown = EstimateMakespan(world_.kernel, app, HostsByIndex({0}));
+  EXPECT_GT(breakdown.max_host_load, 2.4);
+}
+
+}  // namespace
+}  // namespace legion

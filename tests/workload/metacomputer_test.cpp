@@ -1,0 +1,148 @@
+#include "workload/metacomputer.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace legion {
+namespace {
+
+NetworkParams QuietNet() {
+  NetworkParams params;
+  params.jitter_fraction = 0.0;
+  return params;
+}
+
+TEST(MetacomputerTest, BuildsRequestedTopology) {
+  SimKernel kernel(QuietNet());
+  MetacomputerConfig config;
+  config.domains = 3;
+  config.hosts_per_domain = 5;
+  config.vaults_per_domain = 2;
+  config.seed = 1;
+  Metacomputer metacomputer(&kernel, config);
+  EXPECT_EQ(metacomputer.hosts().size(), 15u);
+  EXPECT_EQ(metacomputer.vaults().size(), 6u);
+  ASSERT_NE(metacomputer.collection(), nullptr);
+  ASSERT_NE(metacomputer.enactor(), nullptr);
+  ASSERT_NE(metacomputer.monitor(), nullptr);
+  // Domains are balanced.
+  std::map<std::uint32_t, int> per_domain;
+  for (auto* host : metacomputer.hosts()) per_domain[host->spec().domain]++;
+  EXPECT_EQ(per_domain.size(), 3u);
+  for (const auto& [domain, count] : per_domain) EXPECT_EQ(count, 5);
+}
+
+TEST(MetacomputerTest, DeterministicForSameSeed) {
+  auto names_of = [](std::uint64_t seed) {
+    SimKernel kernel(QuietNet());
+    MetacomputerConfig config;
+    config.seed = seed;
+    Metacomputer metacomputer(&kernel, config);
+    std::vector<std::string> names;
+    for (auto* host : metacomputer.hosts()) {
+      names.push_back(host->spec().arch + "/" +
+                      std::to_string(host->spec().cpus) + "/" +
+                      std::to_string(host->spec().speed_mips));
+    }
+    return names;
+  };
+  EXPECT_EQ(names_of(7), names_of(7));
+  EXPECT_NE(names_of(7), names_of(8));
+}
+
+TEST(MetacomputerTest, HeterogeneousMixesPlatforms) {
+  SimKernel kernel(QuietNet());
+  MetacomputerConfig config;
+  config.domains = 2;
+  config.hosts_per_domain = 16;
+  config.seed = 3;
+  Metacomputer metacomputer(&kernel, config);
+  std::set<std::string> arches;
+  for (auto* host : metacomputer.hosts()) arches.insert(host->spec().arch);
+  EXPECT_GE(arches.size(), 3u);
+}
+
+TEST(MetacomputerTest, HostKindMixRespectsFractions) {
+  SimKernel kernel(QuietNet());
+  MetacomputerConfig config;
+  config.domains = 2;
+  config.hosts_per_domain = 20;
+  config.batch_fraction = 0.3;
+  config.maui_fraction = 0.2;
+  config.smp_fraction = 0.2;
+  config.seed = 11;
+  Metacomputer metacomputer(&kernel, config);
+  int batch = 0, maui = 0;
+  for (auto* host : metacomputer.hosts()) {
+    if (dynamic_cast<MauiHost*>(host) != nullptr) {
+      ++maui;
+    } else if (dynamic_cast<BatchQueueHost*>(host) != nullptr) {
+      ++batch;
+    }
+  }
+  EXPECT_GT(maui, 0);
+  EXPECT_GT(batch, 0);
+}
+
+TEST(MetacomputerTest, PopulateCollectionPushesEveryHost) {
+  SimKernel kernel(QuietNet());
+  MetacomputerConfig config;
+  config.domains = 2;
+  config.hosts_per_domain = 4;
+  Metacomputer metacomputer(&kernel, config);
+  metacomputer.PopulateCollection();
+  EXPECT_EQ(metacomputer.collection()->record_count(), 8u);
+}
+
+TEST(MetacomputerTest, HostsHaveCompatibleVaultsInTheirDomain) {
+  SimKernel kernel(QuietNet());
+  MetacomputerConfig config;
+  Metacomputer metacomputer(&kernel, config);
+  for (auto* host : metacomputer.hosts()) {
+    bool found = false;
+    for (const auto& [name, value] : host->attributes()) {
+      if (name == "compatible_vaults") {
+        EXPECT_FALSE(value.as_list().empty());
+        found = true;
+      }
+    }
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST(MetacomputerTest, UniversalClassMatchesEveryHost) {
+  SimKernel kernel(QuietNet());
+  MetacomputerConfig config;
+  config.domains = 2;
+  config.hosts_per_domain = 8;
+  config.seed = 5;
+  Metacomputer metacomputer(&kernel, config);
+  metacomputer.PopulateCollection();
+  auto* klass = metacomputer.MakeUniversalClass("everywhere");
+  (void)klass;
+  // Every host record matches at least one implementation's arch/OS.
+  for (auto* host : metacomputer.hosts()) {
+    bool matched = false;
+    for (const Platform& platform : KnownPlatforms()) {
+      if (host->spec().arch == platform.arch &&
+          host->spec().os_name == platform.os_name) {
+        matched = true;
+      }
+    }
+    EXPECT_TRUE(matched) << host->spec().name;
+  }
+}
+
+TEST(MetacomputerTest, FindHostAndVaultResolve) {
+  SimKernel kernel(QuietNet());
+  Metacomputer metacomputer(&kernel, MetacomputerConfig{});
+  auto* host = metacomputer.hosts().front();
+  auto* vault = metacomputer.vaults().front();
+  EXPECT_EQ(metacomputer.FindHost(host->loid()), host);
+  EXPECT_EQ(metacomputer.FindVault(vault->loid()), vault);
+  EXPECT_EQ(metacomputer.FindHost(Loid(LoidSpace::kHost, 0, 31337)), nullptr);
+}
+
+}  // namespace
+}  // namespace legion
