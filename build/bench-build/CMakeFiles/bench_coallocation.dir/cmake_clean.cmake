@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_coallocation"
+  "../bench/bench_coallocation.pdb"
+  "CMakeFiles/bench_coallocation.dir/bench_coallocation.cpp.o"
+  "CMakeFiles/bench_coallocation.dir/bench_coallocation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_coallocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

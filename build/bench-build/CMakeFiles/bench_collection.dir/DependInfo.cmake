@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_collection.cpp" "bench-build/CMakeFiles/bench_collection.dir/bench_collection.cpp.o" "gcc" "bench-build/CMakeFiles/bench_collection.dir/bench_collection.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/legion_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/legion_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/resources/CMakeFiles/legion_resources.dir/DependInfo.cmake"
+  "/root/repo/build/src/objects/CMakeFiles/legion_objects.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/legion_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/legion_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/legion_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

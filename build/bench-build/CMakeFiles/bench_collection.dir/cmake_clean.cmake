@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_collection"
+  "../bench/bench_collection.pdb"
+  "CMakeFiles/bench_collection.dir/bench_collection.cpp.o"
+  "CMakeFiles/bench_collection.dir/bench_collection.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_collection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

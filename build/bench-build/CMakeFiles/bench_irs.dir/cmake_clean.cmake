@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_irs"
+  "../bench/bench_irs.pdb"
+  "CMakeFiles/bench_irs.dir/bench_irs.cpp.o"
+  "CMakeFiles/bench_irs.dir/bench_irs.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_irs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

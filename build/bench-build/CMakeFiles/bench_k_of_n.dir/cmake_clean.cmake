@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_k_of_n"
+  "../bench/bench_k_of_n.pdb"
+  "CMakeFiles/bench_k_of_n.dir/bench_k_of_n.cpp.o"
+  "CMakeFiles/bench_k_of_n.dir/bench_k_of_n.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_k_of_n.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_reservation"
+  "../bench/bench_reservation.pdb"
+  "CMakeFiles/bench_reservation.dir/bench_reservation.cpp.o"
+  "CMakeFiles/bench_reservation.dir/bench_reservation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_reservation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_staleness"
+  "../bench/bench_staleness.pdb"
+  "CMakeFiles/bench_staleness.dir/bench_staleness.cpp.o"
+  "CMakeFiles/bench_staleness.dir/bench_staleness.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_staleness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/batch_federation.dir/batch_federation.cpp.o"
+  "CMakeFiles/batch_federation.dir/batch_federation.cpp.o.d"
+  "batch_federation"
+  "batch_federation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/batch_federation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ocean_stencil.dir/ocean_stencil.cpp.o"
+  "CMakeFiles/ocean_stencil.dir/ocean_stencil.cpp.o.d"
+  "ocean_stencil"
+  "ocean_stencil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ocean_stencil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

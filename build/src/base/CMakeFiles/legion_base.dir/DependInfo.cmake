@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/base/attributes.cpp" "src/base/CMakeFiles/legion_base.dir/attributes.cpp.o" "gcc" "src/base/CMakeFiles/legion_base.dir/attributes.cpp.o.d"
+  "/root/repo/src/base/loid.cpp" "src/base/CMakeFiles/legion_base.dir/loid.cpp.o" "gcc" "src/base/CMakeFiles/legion_base.dir/loid.cpp.o.d"
+  "/root/repo/src/base/rng.cpp" "src/base/CMakeFiles/legion_base.dir/rng.cpp.o" "gcc" "src/base/CMakeFiles/legion_base.dir/rng.cpp.o.d"
+  "/root/repo/src/base/serialize.cpp" "src/base/CMakeFiles/legion_base.dir/serialize.cpp.o" "gcc" "src/base/CMakeFiles/legion_base.dir/serialize.cpp.o.d"
+  "/root/repo/src/base/token.cpp" "src/base/CMakeFiles/legion_base.dir/token.cpp.o" "gcc" "src/base/CMakeFiles/legion_base.dir/token.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/collection.cpp" "src/core/CMakeFiles/legion_core.dir/collection.cpp.o" "gcc" "src/core/CMakeFiles/legion_core.dir/collection.cpp.o.d"
+  "/root/repo/src/core/dcd.cpp" "src/core/CMakeFiles/legion_core.dir/dcd.cpp.o" "gcc" "src/core/CMakeFiles/legion_core.dir/dcd.cpp.o.d"
+  "/root/repo/src/core/enactor.cpp" "src/core/CMakeFiles/legion_core.dir/enactor.cpp.o" "gcc" "src/core/CMakeFiles/legion_core.dir/enactor.cpp.o.d"
+  "/root/repo/src/core/impl_cache.cpp" "src/core/CMakeFiles/legion_core.dir/impl_cache.cpp.o" "gcc" "src/core/CMakeFiles/legion_core.dir/impl_cache.cpp.o.d"
+  "/root/repo/src/core/layering.cpp" "src/core/CMakeFiles/legion_core.dir/layering.cpp.o" "gcc" "src/core/CMakeFiles/legion_core.dir/layering.cpp.o.d"
+  "/root/repo/src/core/migration.cpp" "src/core/CMakeFiles/legion_core.dir/migration.cpp.o" "gcc" "src/core/CMakeFiles/legion_core.dir/migration.cpp.o.d"
+  "/root/repo/src/core/monitor.cpp" "src/core/CMakeFiles/legion_core.dir/monitor.cpp.o" "gcc" "src/core/CMakeFiles/legion_core.dir/monitor.cpp.o.d"
+  "/root/repo/src/core/network_object.cpp" "src/core/CMakeFiles/legion_core.dir/network_object.cpp.o" "gcc" "src/core/CMakeFiles/legion_core.dir/network_object.cpp.o.d"
+  "/root/repo/src/core/schedule.cpp" "src/core/CMakeFiles/legion_core.dir/schedule.cpp.o" "gcc" "src/core/CMakeFiles/legion_core.dir/schedule.cpp.o.d"
+  "/root/repo/src/core/scheduler.cpp" "src/core/CMakeFiles/legion_core.dir/scheduler.cpp.o" "gcc" "src/core/CMakeFiles/legion_core.dir/scheduler.cpp.o.d"
+  "/root/repo/src/core/schedulers/irs_scheduler.cpp" "src/core/CMakeFiles/legion_core.dir/schedulers/irs_scheduler.cpp.o" "gcc" "src/core/CMakeFiles/legion_core.dir/schedulers/irs_scheduler.cpp.o.d"
+  "/root/repo/src/core/schedulers/k_of_n_scheduler.cpp" "src/core/CMakeFiles/legion_core.dir/schedulers/k_of_n_scheduler.cpp.o" "gcc" "src/core/CMakeFiles/legion_core.dir/schedulers/k_of_n_scheduler.cpp.o.d"
+  "/root/repo/src/core/schedulers/random_scheduler.cpp" "src/core/CMakeFiles/legion_core.dir/schedulers/random_scheduler.cpp.o" "gcc" "src/core/CMakeFiles/legion_core.dir/schedulers/random_scheduler.cpp.o.d"
+  "/root/repo/src/core/schedulers/ranked_scheduler.cpp" "src/core/CMakeFiles/legion_core.dir/schedulers/ranked_scheduler.cpp.o" "gcc" "src/core/CMakeFiles/legion_core.dir/schedulers/ranked_scheduler.cpp.o.d"
+  "/root/repo/src/core/schedulers/stencil_scheduler.cpp" "src/core/CMakeFiles/legion_core.dir/schedulers/stencil_scheduler.cpp.o" "gcc" "src/core/CMakeFiles/legion_core.dir/schedulers/stencil_scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/resources/CMakeFiles/legion_resources.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/legion_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/objects/CMakeFiles/legion_objects.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/legion_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/legion_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

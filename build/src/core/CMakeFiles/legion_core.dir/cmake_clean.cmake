@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/legion_core.dir/collection.cpp.o"
+  "CMakeFiles/legion_core.dir/collection.cpp.o.d"
+  "CMakeFiles/legion_core.dir/dcd.cpp.o"
+  "CMakeFiles/legion_core.dir/dcd.cpp.o.d"
+  "CMakeFiles/legion_core.dir/enactor.cpp.o"
+  "CMakeFiles/legion_core.dir/enactor.cpp.o.d"
+  "CMakeFiles/legion_core.dir/impl_cache.cpp.o"
+  "CMakeFiles/legion_core.dir/impl_cache.cpp.o.d"
+  "CMakeFiles/legion_core.dir/layering.cpp.o"
+  "CMakeFiles/legion_core.dir/layering.cpp.o.d"
+  "CMakeFiles/legion_core.dir/migration.cpp.o"
+  "CMakeFiles/legion_core.dir/migration.cpp.o.d"
+  "CMakeFiles/legion_core.dir/monitor.cpp.o"
+  "CMakeFiles/legion_core.dir/monitor.cpp.o.d"
+  "CMakeFiles/legion_core.dir/network_object.cpp.o"
+  "CMakeFiles/legion_core.dir/network_object.cpp.o.d"
+  "CMakeFiles/legion_core.dir/schedule.cpp.o"
+  "CMakeFiles/legion_core.dir/schedule.cpp.o.d"
+  "CMakeFiles/legion_core.dir/scheduler.cpp.o"
+  "CMakeFiles/legion_core.dir/scheduler.cpp.o.d"
+  "CMakeFiles/legion_core.dir/schedulers/irs_scheduler.cpp.o"
+  "CMakeFiles/legion_core.dir/schedulers/irs_scheduler.cpp.o.d"
+  "CMakeFiles/legion_core.dir/schedulers/k_of_n_scheduler.cpp.o"
+  "CMakeFiles/legion_core.dir/schedulers/k_of_n_scheduler.cpp.o.d"
+  "CMakeFiles/legion_core.dir/schedulers/random_scheduler.cpp.o"
+  "CMakeFiles/legion_core.dir/schedulers/random_scheduler.cpp.o.d"
+  "CMakeFiles/legion_core.dir/schedulers/ranked_scheduler.cpp.o"
+  "CMakeFiles/legion_core.dir/schedulers/ranked_scheduler.cpp.o.d"
+  "CMakeFiles/legion_core.dir/schedulers/stencil_scheduler.cpp.o"
+  "CMakeFiles/legion_core.dir/schedulers/stencil_scheduler.cpp.o.d"
+  "liblegion_core.a"
+  "liblegion_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/legion_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/objects/class_object.cpp" "src/objects/CMakeFiles/legion_objects.dir/class_object.cpp.o" "gcc" "src/objects/CMakeFiles/legion_objects.dir/class_object.cpp.o.d"
+  "/root/repo/src/objects/core_hierarchy.cpp" "src/objects/CMakeFiles/legion_objects.dir/core_hierarchy.cpp.o" "gcc" "src/objects/CMakeFiles/legion_objects.dir/core_hierarchy.cpp.o.d"
+  "/root/repo/src/objects/legion_object.cpp" "src/objects/CMakeFiles/legion_objects.dir/legion_object.cpp.o" "gcc" "src/objects/CMakeFiles/legion_objects.dir/legion_object.cpp.o.d"
+  "/root/repo/src/objects/opr.cpp" "src/objects/CMakeFiles/legion_objects.dir/opr.cpp.o" "gcc" "src/objects/CMakeFiles/legion_objects.dir/opr.cpp.o.d"
+  "/root/repo/src/objects/rge.cpp" "src/objects/CMakeFiles/legion_objects.dir/rge.cpp.o" "gcc" "src/objects/CMakeFiles/legion_objects.dir/rge.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/legion_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/legion_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

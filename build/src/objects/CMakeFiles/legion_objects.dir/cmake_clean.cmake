@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/legion_objects.dir/class_object.cpp.o"
+  "CMakeFiles/legion_objects.dir/class_object.cpp.o.d"
+  "CMakeFiles/legion_objects.dir/core_hierarchy.cpp.o"
+  "CMakeFiles/legion_objects.dir/core_hierarchy.cpp.o.d"
+  "CMakeFiles/legion_objects.dir/legion_object.cpp.o"
+  "CMakeFiles/legion_objects.dir/legion_object.cpp.o.d"
+  "CMakeFiles/legion_objects.dir/opr.cpp.o"
+  "CMakeFiles/legion_objects.dir/opr.cpp.o.d"
+  "CMakeFiles/legion_objects.dir/rge.cpp.o"
+  "CMakeFiles/legion_objects.dir/rge.cpp.o.d"
+  "liblegion_objects.a"
+  "liblegion_objects.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/legion_objects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/query/ast.cpp" "src/query/CMakeFiles/legion_query.dir/ast.cpp.o" "gcc" "src/query/CMakeFiles/legion_query.dir/ast.cpp.o.d"
+  "/root/repo/src/query/lexer.cpp" "src/query/CMakeFiles/legion_query.dir/lexer.cpp.o" "gcc" "src/query/CMakeFiles/legion_query.dir/lexer.cpp.o.d"
+  "/root/repo/src/query/parser.cpp" "src/query/CMakeFiles/legion_query.dir/parser.cpp.o" "gcc" "src/query/CMakeFiles/legion_query.dir/parser.cpp.o.d"
+  "/root/repo/src/query/query.cpp" "src/query/CMakeFiles/legion_query.dir/query.cpp.o" "gcc" "src/query/CMakeFiles/legion_query.dir/query.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/legion_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

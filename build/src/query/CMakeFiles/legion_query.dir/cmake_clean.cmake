@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/legion_query.dir/ast.cpp.o"
+  "CMakeFiles/legion_query.dir/ast.cpp.o.d"
+  "CMakeFiles/legion_query.dir/lexer.cpp.o"
+  "CMakeFiles/legion_query.dir/lexer.cpp.o.d"
+  "CMakeFiles/legion_query.dir/parser.cpp.o"
+  "CMakeFiles/legion_query.dir/parser.cpp.o.d"
+  "CMakeFiles/legion_query.dir/query.cpp.o"
+  "CMakeFiles/legion_query.dir/query.cpp.o.d"
+  "liblegion_query.a"
+  "liblegion_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/legion_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

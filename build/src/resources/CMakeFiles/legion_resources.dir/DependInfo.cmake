@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/resources/batch_queue_host.cpp" "src/resources/CMakeFiles/legion_resources.dir/batch_queue_host.cpp.o" "gcc" "src/resources/CMakeFiles/legion_resources.dir/batch_queue_host.cpp.o.d"
+  "/root/repo/src/resources/host_object.cpp" "src/resources/CMakeFiles/legion_resources.dir/host_object.cpp.o" "gcc" "src/resources/CMakeFiles/legion_resources.dir/host_object.cpp.o.d"
+  "/root/repo/src/resources/placement_policy.cpp" "src/resources/CMakeFiles/legion_resources.dir/placement_policy.cpp.o" "gcc" "src/resources/CMakeFiles/legion_resources.dir/placement_policy.cpp.o.d"
+  "/root/repo/src/resources/queue_system.cpp" "src/resources/CMakeFiles/legion_resources.dir/queue_system.cpp.o" "gcc" "src/resources/CMakeFiles/legion_resources.dir/queue_system.cpp.o.d"
+  "/root/repo/src/resources/reservation.cpp" "src/resources/CMakeFiles/legion_resources.dir/reservation.cpp.o" "gcc" "src/resources/CMakeFiles/legion_resources.dir/reservation.cpp.o.d"
+  "/root/repo/src/resources/vault_object.cpp" "src/resources/CMakeFiles/legion_resources.dir/vault_object.cpp.o" "gcc" "src/resources/CMakeFiles/legion_resources.dir/vault_object.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/objects/CMakeFiles/legion_objects.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/legion_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/legion_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

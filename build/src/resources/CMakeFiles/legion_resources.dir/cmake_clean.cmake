@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/legion_resources.dir/batch_queue_host.cpp.o"
+  "CMakeFiles/legion_resources.dir/batch_queue_host.cpp.o.d"
+  "CMakeFiles/legion_resources.dir/host_object.cpp.o"
+  "CMakeFiles/legion_resources.dir/host_object.cpp.o.d"
+  "CMakeFiles/legion_resources.dir/placement_policy.cpp.o"
+  "CMakeFiles/legion_resources.dir/placement_policy.cpp.o.d"
+  "CMakeFiles/legion_resources.dir/queue_system.cpp.o"
+  "CMakeFiles/legion_resources.dir/queue_system.cpp.o.d"
+  "CMakeFiles/legion_resources.dir/reservation.cpp.o"
+  "CMakeFiles/legion_resources.dir/reservation.cpp.o.d"
+  "CMakeFiles/legion_resources.dir/vault_object.cpp.o"
+  "CMakeFiles/legion_resources.dir/vault_object.cpp.o.d"
+  "liblegion_resources.a"
+  "liblegion_resources.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/legion_resources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/legion_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/legion_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/legion_sim.dir/kernel.cpp.o"
+  "CMakeFiles/legion_sim.dir/kernel.cpp.o.d"
+  "CMakeFiles/legion_sim.dir/network.cpp.o"
+  "CMakeFiles/legion_sim.dir/network.cpp.o.d"
+  "liblegion_sim.a"
+  "liblegion_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/legion_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/legion_workload.dir/app_model.cpp.o"
+  "CMakeFiles/legion_workload.dir/app_model.cpp.o.d"
+  "CMakeFiles/legion_workload.dir/executor.cpp.o"
+  "CMakeFiles/legion_workload.dir/executor.cpp.o.d"
+  "CMakeFiles/legion_workload.dir/metacomputer.cpp.o"
+  "CMakeFiles/legion_workload.dir/metacomputer.cpp.o.d"
+  "CMakeFiles/legion_workload.dir/session.cpp.o"
+  "CMakeFiles/legion_workload.dir/session.cpp.o.d"
+  "liblegion_workload.a"
+  "liblegion_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/legion_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblegion_workload.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/batch_queue_host_test.dir/resources/batch_queue_host_test.cpp.o"
+  "CMakeFiles/batch_queue_host_test.dir/resources/batch_queue_host_test.cpp.o.d"
+  "batch_queue_host_test"
+  "batch_queue_host_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/batch_queue_host_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

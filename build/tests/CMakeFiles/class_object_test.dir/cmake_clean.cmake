@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/class_object_test.dir/objects/class_object_test.cpp.o"
+  "CMakeFiles/class_object_test.dir/objects/class_object_test.cpp.o.d"
+  "class_object_test"
+  "class_object_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/class_object_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_hierarchy_test.dir/objects/core_hierarchy_test.cpp.o"
+  "CMakeFiles/core_hierarchy_test.dir/objects/core_hierarchy_test.cpp.o.d"
+  "core_hierarchy_test"
+  "core_hierarchy_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_hierarchy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

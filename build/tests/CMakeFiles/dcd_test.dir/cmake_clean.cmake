@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcd_test.dir/core/dcd_test.cpp.o"
+  "CMakeFiles/dcd_test.dir/core/dcd_test.cpp.o.d"
+  "dcd_test"
+  "dcd_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enactor_property_test.dir/property/enactor_property_test.cpp.o"
+  "CMakeFiles/enactor_property_test.dir/property/enactor_property_test.cpp.o.d"
+  "enactor_property_test"
+  "enactor_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enactor_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

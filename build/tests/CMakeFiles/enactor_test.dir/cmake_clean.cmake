@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enactor_test.dir/core/enactor_test.cpp.o"
+  "CMakeFiles/enactor_test.dir/core/enactor_test.cpp.o.d"
+  "enactor_test"
+  "enactor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enactor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/host_object_test.dir/resources/host_object_test.cpp.o"
+  "CMakeFiles/host_object_test.dir/resources/host_object_test.cpp.o.d"
+  "host_object_test"
+  "host_object_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/host_object_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/impl_cache_test.dir/core/impl_cache_test.cpp.o"
+  "CMakeFiles/impl_cache_test.dir/core/impl_cache_test.cpp.o.d"
+  "impl_cache_test"
+  "impl_cache_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/impl_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/irs_scheduler_test.dir/core/irs_scheduler_test.cpp.o"
+  "CMakeFiles/irs_scheduler_test.dir/core/irs_scheduler_test.cpp.o.d"
+  "irs_scheduler_test"
+  "irs_scheduler_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/irs_scheduler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

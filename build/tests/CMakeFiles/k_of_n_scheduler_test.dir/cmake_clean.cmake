@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/k_of_n_scheduler_test.dir/core/k_of_n_scheduler_test.cpp.o"
+  "CMakeFiles/k_of_n_scheduler_test.dir/core/k_of_n_scheduler_test.cpp.o.d"
+  "k_of_n_scheduler_test"
+  "k_of_n_scheduler_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/k_of_n_scheduler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

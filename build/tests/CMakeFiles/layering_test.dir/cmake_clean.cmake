@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/layering_test.dir/core/layering_test.cpp.o"
+  "CMakeFiles/layering_test.dir/core/layering_test.cpp.o.d"
+  "layering_test"
+  "layering_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/layering_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

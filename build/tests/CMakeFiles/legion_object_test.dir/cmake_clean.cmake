@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/legion_object_test.dir/objects/legion_object_test.cpp.o"
+  "CMakeFiles/legion_object_test.dir/objects/legion_object_test.cpp.o.d"
+  "legion_object_test"
+  "legion_object_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/legion_object_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

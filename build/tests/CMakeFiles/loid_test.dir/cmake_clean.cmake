@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loid_test.dir/base/loid_test.cpp.o"
+  "CMakeFiles/loid_test.dir/base/loid_test.cpp.o.d"
+  "loid_test"
+  "loid_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loid_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

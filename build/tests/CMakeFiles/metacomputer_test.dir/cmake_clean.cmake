@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metacomputer_test.dir/workload/metacomputer_test.cpp.o"
+  "CMakeFiles/metacomputer_test.dir/workload/metacomputer_test.cpp.o.d"
+  "metacomputer_test"
+  "metacomputer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metacomputer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_object_test.dir/core/network_object_test.cpp.o"
+  "CMakeFiles/network_object_test.dir/core/network_object_test.cpp.o.d"
+  "network_object_test"
+  "network_object_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_object_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

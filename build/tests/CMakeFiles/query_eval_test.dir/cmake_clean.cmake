@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_eval_test.dir/query/eval_test.cpp.o"
+  "CMakeFiles/query_eval_test.dir/query/eval_test.cpp.o.d"
+  "query_eval_test"
+  "query_eval_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_eval_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/queue_system_test.dir/resources/queue_system_test.cpp.o"
+  "CMakeFiles/queue_system_test.dir/resources/queue_system_test.cpp.o.d"
+  "queue_system_test"
+  "queue_system_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/queue_system_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

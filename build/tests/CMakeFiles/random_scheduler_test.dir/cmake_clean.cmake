@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/random_scheduler_test.dir/core/random_scheduler_test.cpp.o"
+  "CMakeFiles/random_scheduler_test.dir/core/random_scheduler_test.cpp.o.d"
+  "random_scheduler_test"
+  "random_scheduler_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/random_scheduler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ranked_scheduler_test.dir/core/ranked_scheduler_test.cpp.o"
+  "CMakeFiles/ranked_scheduler_test.dir/core/ranked_scheduler_test.cpp.o.d"
+  "ranked_scheduler_test"
+  "ranked_scheduler_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ranked_scheduler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

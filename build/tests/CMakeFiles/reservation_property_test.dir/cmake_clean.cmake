@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reservation_property_test.dir/property/reservation_property_test.cpp.o"
+  "CMakeFiles/reservation_property_test.dir/property/reservation_property_test.cpp.o.d"
+  "reservation_property_test"
+  "reservation_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reservation_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rge_test.dir/objects/rge_test.cpp.o"
+  "CMakeFiles/rge_test.dir/objects/rge_test.cpp.o.d"
+  "rge_test"
+  "rge_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmi_protocol_test.dir/integration/rmi_protocol_test.cpp.o"
+  "CMakeFiles/rmi_protocol_test.dir/integration/rmi_protocol_test.cpp.o.d"
+  "rmi_protocol_test"
+  "rmi_protocol_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmi_protocol_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stencil_scheduler_test.dir/core/stencil_scheduler_test.cpp.o"
+  "CMakeFiles/stencil_scheduler_test.dir/core/stencil_scheduler_test.cpp.o.d"
+  "stencil_scheduler_test"
+  "stencil_scheduler_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stencil_scheduler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

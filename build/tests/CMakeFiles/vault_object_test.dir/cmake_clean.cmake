@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vault_object_test.dir/resources/vault_object_test.cpp.o"
+  "CMakeFiles/vault_object_test.dir/resources/vault_object_test.cpp.o.d"
+  "vault_object_test"
+  "vault_object_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vault_object_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
