@@ -52,7 +52,7 @@ LayeringCost RunCell(Layering layering, std::size_t instances, int rounds) {
 
   LayeringCost cost;
   for (int round = 0; round < rounds; ++round) {
-    world.kernel->ResetStats();
+    world->ResetAllStats();
     PlacementTrace trace;
     app->Place({{klass->loid(), instances}},
                [&](Result<PlacementTrace> r) {

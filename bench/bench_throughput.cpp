@@ -19,11 +19,7 @@
 namespace legion::bench {
 namespace {
 
-struct Cell {
-  SessionStats stats;
-};
-
-Cell RunCell(bool load_aware, double arrivals_per_minute) {
+SessionStats RunCell(bool load_aware, double arrivals_per_minute) {
   MetacomputerConfig config;
   config.domains = 2;
   config.hosts_per_domain = 8;
@@ -59,9 +55,7 @@ Cell RunCell(bool load_aware, double arrivals_per_minute) {
   session.SubmitAt(app, arrivals);
   world.kernel->RunFor(horizon + Duration::Hours(1));
 
-  Cell cell;
-  cell.stats = session.Stats(horizon);
-  return cell;
+  return session.Stats(horizon);
 }
 
 void RunExperiment() {
@@ -69,19 +63,22 @@ void RunExperiment() {
               "16 hosts, 2 h of Poisson arrivals",
               "scheduler   arrivals/min  offered  placed%  mean_tat_s  "
               "p95_tat_s  done/hour  dollars");
+  table.EnableJson("throughput",
+                   {"scheduler", "arrivals_per_min", "offered", "placed_pct",
+                    "mean_turnaround_s", "p95_turnaround_s", "done_per_hour",
+                    "dollars"});
   table.Begin();
   for (double rate : {0.5, 1.0, 2.0, 4.0}) {
     for (bool load_aware : {false, true}) {
-      Cell cell = RunCell(load_aware, rate);
-      const SessionStats& stats = cell.stats;
+      const SessionStats stats = RunCell(load_aware, rate);
       table.Row("%-10s  %12.1f  %7zu  %6.0f%%  %10.1f  %9.1f  %9.1f  %7.3f",
-                load_aware ? "load-aware" : "random", rate, stats.offered,
-                stats.offered > 0
-                    ? 100.0 * static_cast<double>(stats.placed) /
-                          static_cast<double>(stats.offered)
-                    : 0.0,
-                stats.mean_turnaround_s, stats.p95_turnaround_s,
-                stats.throughput_per_hour, stats.total_dollars);
+                {load_aware ? "load-aware" : "random", rate, stats.offered,
+                 stats.offered > 0
+                     ? 100.0 * static_cast<double>(stats.placed) /
+                           static_cast<double>(stats.offered)
+                     : 0.0,
+                 stats.mean_turnaround_s, stats.p95_turnaround_s,
+                 stats.throughput_per_hour, stats.total_dollars});
     }
   }
 }

@@ -2,12 +2,16 @@
 // EXPERIMENTS.md).  Each bench binary prints one experiment's table.
 #pragma once
 
+#include <cctype>
 #include <cstdarg>
 #include <cstdio>
+#include <cstring>
 #include <memory>
 #include <string>
+#include <type_traits>
 #include <vector>
 
+#include "obs/json.h"
 #include "workload/metacomputer.h"
 
 namespace legion::bench {
@@ -37,11 +41,99 @@ inline World MakeWorld(MetacomputerConfig config,
   return world;
 }
 
-// Minimal table printer: header once, then printf-style rows.
+// One value in a machine-readable table row: a number or a label.
+struct Cell {
+  template <typename T, std::enable_if_t<std::is_arithmetic_v<T>, int> = 0>
+  Cell(T value) : is_number(true), num(static_cast<double>(value)) {}
+  Cell(const char* value) : text(value) {}
+  Cell(const std::string& value) : text(value) {}
+
+  bool is_number = false;
+  double num = 0.0;
+  std::string text;
+};
+
+// Applies one printf-style format to a cell list: each conversion spec
+// consumes the next cell.  Length modifiers in the spec are replaced so
+// the caller can keep the exact format string of the printed table
+// (e.g. "%7zu" works against a numeric cell).
+inline std::string FormatCells(const char* fmt,
+                               const std::vector<Cell>& cells) {
+  std::string out;
+  std::size_t next = 0;
+  for (const char* p = fmt; *p != '\0'; ++p) {
+    if (*p != '%') {
+      out.push_back(*p);
+      continue;
+    }
+    if (p[1] == '%') {
+      out.push_back('%');
+      ++p;
+      continue;
+    }
+    // %[flags][width][.precision][length]conversion
+    std::string spec = "%";
+    ++p;
+    while (*p != '\0' && std::strchr("-+ #0", *p) != nullptr) spec += *p++;
+    while (*p != '\0' && std::isdigit(static_cast<unsigned char>(*p)))
+      spec += *p++;
+    if (*p == '.') {
+      spec += *p++;
+      while (*p != '\0' && std::isdigit(static_cast<unsigned char>(*p)))
+        spec += *p++;
+    }
+    while (*p != '\0' && std::strchr("hljzt", *p) != nullptr) ++p;  // drop
+    const char conv = *p;
+    if (conv == '\0' || next >= cells.size()) break;
+    const Cell& cell = cells[next++];
+    char buf[256];
+    switch (conv) {
+      case 'd':
+      case 'i':
+        spec += "lld";
+        std::snprintf(buf, sizeof buf, spec.c_str(),
+                      static_cast<long long>(cell.num));
+        break;
+      case 'u':
+      case 'o':
+      case 'x':
+      case 'X':
+        spec += "ll";
+        spec += conv;
+        std::snprintf(buf, sizeof buf, spec.c_str(),
+                      static_cast<unsigned long long>(cell.num));
+        break;
+      case 's':
+        spec += 's';
+        std::snprintf(buf, sizeof buf, spec.c_str(), cell.text.c_str());
+        break;
+      default:  // e E f F g G
+        spec += conv;
+        std::snprintf(buf, sizeof buf, spec.c_str(), cell.num);
+        break;
+    }
+    out += buf;
+  }
+  return out;
+}
+
+// Minimal table printer: header once, then printf-style rows.  A table
+// may additionally mirror its rows into BENCH_<experiment>.json (written
+// on destruction) so results are machine-readable alongside the printed
+// text -- see EnableJson().
 class Table {
  public:
   Table(std::string title, std::string header)
       : title_(std::move(title)), header_(std::move(header)) {}
+
+  ~Table() { WriteJson(); }
+
+  // Opt this table into the JSON mirror.  `columns` names the cells that
+  // each cell-based Row() call will supply, in order.
+  void EnableJson(std::string experiment, std::vector<std::string> columns) {
+    experiment_ = std::move(experiment);
+    columns_ = std::move(columns);
+  }
 
   void Begin() const {
     std::printf("\n=== %s ===\n%s\n", title_.c_str(), header_.c_str());
@@ -57,9 +149,49 @@ class Table {
     std::putchar('\n');
   }
 
+  // Cell-based row: prints through the same format string as the text
+  // table and records the raw values for the JSON mirror.
+  void Row(const char* fmt, std::vector<Cell> cells) {
+    std::printf("%s\n", FormatCells(fmt, cells).c_str());
+    rows_.push_back(std::move(cells));
+  }
+
  private:
+  void WriteJson() const {
+    if (experiment_.empty()) return;
+    std::string json = "{\"experiment\":" + obs::JsonString(experiment_) +
+                       ",\"title\":" + obs::JsonString(title_) +
+                       ",\"columns\":[";
+    for (std::size_t i = 0; i < columns_.size(); ++i) {
+      if (i != 0) json += ',';
+      json += obs::JsonString(columns_[i]);
+    }
+    json += "],\"rows\":[";
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+      if (r != 0) json += ',';
+      json += '[';
+      for (std::size_t c = 0; c < rows_[r].size(); ++c) {
+        if (c != 0) json += ',';
+        const Cell& cell = rows_[r][c];
+        json += cell.is_number ? obs::JsonNumber(cell.num)
+                               : obs::JsonString(cell.text);
+      }
+      json += ']';
+    }
+    json += "]}\n";
+    const std::string path = "BENCH_" + experiment_ + ".json";
+    if (std::FILE* f = std::fopen(path.c_str(), "w")) {
+      std::fwrite(json.data(), 1, json.size(), f);
+      std::fclose(f);
+      std::printf("[wrote %s]\n", path.c_str());
+    }
+  }
+
   std::string title_;
   std::string header_;
+  std::string experiment_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<Cell>> rows_;
 };
 
 }  // namespace legion::bench

@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Sanitizer sweep: configure a dedicated build tree with ASan+UBSan and
+# run the full test suite under it.  Usage: scripts/check.sh [build-dir]
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-$repo/build-sanitize}"
+
+cmake -B "$build" -S "$repo" -DLEGION_SANITIZE=address,undefined
+cmake --build "$build" -j "$(nproc)"
+ctest --test-dir "$build" --output-on-failure -j "$(nproc)"

@@ -1,9 +1,19 @@
 #include "core/collection.h"
 
 #include <algorithm>
+#include <chrono>
 #include <thread>
 
 namespace legion {
+
+namespace {
+// Wall-clock microseconds for measuring real evaluation cost.
+std::int64_t WallMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
 
 namespace {
 // Well-known serial for the Collection service class.
@@ -19,6 +29,19 @@ CollectionObject::CollectionObject(SimKernel* kernel, Loid loid,
   kernel->network().RegisterEndpoint(loid, loid.domain());
   (void)Activate(loid, Loid());
   mutable_attributes().Set("service", "collection");
+
+  obs::MetricsRegistry& metrics = kernel->metrics();
+  const obs::Labels labels = {{"component", "collection"}};
+  cells_.queries_served = metrics.GetCounter("queries_served", labels);
+  cells_.updates_applied = metrics.GetCounter("updates_applied", labels);
+  cells_.updates_rejected = metrics.GetCounter("updates_rejected", labels);
+  cells_.query_wall_us =
+      metrics.GetHistogram("collection_query_wall_us", labels,
+                           {1.0, 5.0, 10.0, 50.0, 100.0, 500.0, 1e3, 5e3, 1e4,
+                            5e4, 1e5, 1e6});
+  cells_.staleness_ms = metrics.GetHistogram(
+      "collection_staleness_ms", labels,
+      {1.0, 10.0, 100.0, 1e3, 5e3, 1e4, 3e4, 6e4, 3e5, 6e5, 3.6e6});
 }
 
 bool CollectionObject::Authorized(const Loid& caller,
@@ -39,7 +62,7 @@ void CollectionObject::Upsert(const Loid& member,
   record.attributes.Set("member", member.ToString());
   record.updated_at = kernel()->Now();
   ++record.update_count;
-  updates_applied_.fetch_add(1, std::memory_order_relaxed);
+  cells_.updates_applied->Add();
 }
 
 void CollectionObject::JoinCollection(const Loid& joiner, Callback<bool> done) {
@@ -73,7 +96,7 @@ void CollectionObject::UpdateEntryAs(const Loid& caller, const Loid& member,
                                      const AttributeDatabase& attributes,
                                      Callback<bool> done) {
   if (!Authorized(caller, member)) {
-    updates_rejected_.fetch_add(1, std::memory_order_relaxed);
+    cells_.updates_rejected->Add();
     done(Status::Error(ErrorCode::kRefused,
                        caller.ToString() + " may not update " +
                            member.ToString()));
@@ -85,6 +108,8 @@ void CollectionObject::UpdateEntryAs(const Loid& caller, const Loid& member,
 
 void CollectionObject::QueryCollection(const std::string& query_text,
                                        Callback<CollectionData> done) {
+  // Staleness the caller is about to act on (simulated age of records).
+  cells_.staleness_ms->Observe(MeanRecordAge().millis());
   auto result = QueryLocal(query_text);
   if (!result) {
     done(result.status());
@@ -109,7 +134,8 @@ void CollectionObject::MaterializeDerived(CollectionRecord& record) const {
 
 Result<CollectionData> CollectionObject::QueryLocal(
     const query::CompiledQuery& query) const {
-  queries_served_.fetch_add(1, std::memory_order_relaxed);
+  cells_.queries_served->Add();
+  const std::int64_t wall_start = WallMicros();
   CollectionData matches;
   std::shared_lock lock(store_mutex_);
   for (const auto& [member, record] : records_) {
@@ -123,12 +149,15 @@ Result<CollectionData> CollectionObject::QueryLocal(
             [](const CollectionRecord& a, const CollectionRecord& b) {
               return a.member < b.member;
             });
+  cells_.query_wall_us->Observe(
+      static_cast<double>(WallMicros() - wall_start));
   return matches;
 }
 
 Result<CollectionData> CollectionObject::QueryLocalParallel(
     const query::CompiledQuery& query, unsigned threads) const {
-  queries_served_.fetch_add(1, std::memory_order_relaxed);
+  cells_.queries_served->Add();
+  const std::int64_t wall_start = WallMicros();
   if (threads == 0) threads = options_.query_threads;
   if (threads == 0) threads = std::thread::hardware_concurrency();
   if (threads == 0) threads = 1;
@@ -153,6 +182,8 @@ Result<CollectionData> CollectionObject::QueryLocalParallel(
               [](const CollectionRecord& a, const CollectionRecord& b) {
                 return a.member < b.member;
               });
+    cells_.query_wall_us->Observe(
+        static_cast<double>(WallMicros() - wall_start));
     return matches;
   }
 
@@ -184,6 +215,8 @@ Result<CollectionData> CollectionObject::QueryLocalParallel(
             [](const CollectionRecord& a, const CollectionRecord& b) {
               return a.member < b.member;
             });
+  cells_.query_wall_us->Observe(
+      static_cast<double>(WallMicros() - wall_start));
   return matches;
 }
 
@@ -221,7 +254,8 @@ void CollectionObject::PullFrom(const std::vector<Loid>& members,
             ++state->refreshed;
           }
           if (--state->outstanding == 0) state->done(state->refreshed);
-        });
+        },
+        "pull_attributes");
   }
 }
 

@@ -20,7 +20,6 @@
 // path evaluates a compiled query across worker threads.
 #pragma once
 
-#include <atomic>
 #include <cstdint>
 #include <mutex>
 #include <shared_mutex>
@@ -102,9 +101,9 @@ class CollectionObject : public LegionObject, public CollectionSink {
   // Mean age (now - updated_at) across records; the staleness metric.
   Duration MeanRecordAge() const;
 
-  std::uint64_t queries_served() const { return queries_served_.load(); }
-  std::uint64_t updates_applied() const { return updates_applied_.load(); }
-  std::uint64_t updates_rejected() const { return updates_rejected_.load(); }
+  std::uint64_t queries_served() const { return cells_.queries_served->value(); }
+  std::uint64_t updates_applied() const { return cells_.updates_applied->value(); }
+  std::uint64_t updates_rejected() const { return cells_.updates_rejected->value(); }
 
  private:
   bool Authorized(const Loid& caller, const Loid& member) const;
@@ -117,14 +116,26 @@ class CollectionObject : public LegionObject, public CollectionSink {
   // Snapshot for query evaluation (records copied under shared lock).
   std::vector<const CollectionRecord*> Snapshot() const;
 
+  // Registry cells ({component=collection}); atomic, so the parallel
+  // query path reports through them safely.
+  struct Cells {
+    obs::Counter* queries_served;
+    obs::Counter* updates_applied;
+    obs::Counter* updates_rejected;
+    // Wall-clock evaluation cost of each local query (not simulated
+    // time; feeds the perf trajectory, not determinism).
+    obs::Histogram* query_wall_us;
+    // Mean record age observed at each network query -- the staleness
+    // the schedulers actually acted on.
+    obs::Histogram* staleness_ms;
+  };
+
   CollectionOptions options_;
   mutable std::shared_mutex store_mutex_;  // guards records_
   std::unordered_map<Loid, CollectionRecord> records_;
   std::unordered_set<Loid> trusted_;
   query::FunctionRegistry functions_;
-  mutable std::atomic<std::uint64_t> queries_served_{0};
-  std::atomic<std::uint64_t> updates_applied_{0};
-  std::atomic<std::uint64_t> updates_rejected_{0};
+  Cells cells_;
 };
 
 }  // namespace legion

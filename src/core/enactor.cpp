@@ -38,6 +38,46 @@ EnactorObject::EnactorObject(SimKernel* kernel, Loid loid,
   kernel->network().RegisterEndpoint(loid, loid.domain());
   (void)Activate(loid, Loid());
   mutable_attributes().Set("service", "enactor");
+
+  obs::MetricsRegistry& metrics = kernel->metrics();
+  const obs::Labels labels = {{"component", "enactor"}};
+  cells_.negotiations = metrics.GetCounter("negotiations", labels);
+  cells_.reservations_requested =
+      metrics.GetCounter("reservations_requested", labels);
+  cells_.reservations_granted =
+      metrics.GetCounter("reservations_granted", labels);
+  cells_.reservations_failed =
+      metrics.GetCounter("reservations_failed", labels);
+  cells_.reservations_cancelled =
+      metrics.GetCounter("reservations_cancelled", labels);
+  cells_.rereservations = metrics.GetCounter("rereservations", labels);
+  cells_.enactments = metrics.GetCounter("enactments", labels);
+  cells_.enact_failures = metrics.GetCounter("enact_failures", labels);
+  cells_.negotiation_rounds = metrics.GetCounter("negotiation_rounds", labels);
+}
+
+const EnactorStats& EnactorObject::stats() const {
+  stats_view_.negotiations = cells_.negotiations->value();
+  stats_view_.reservations_requested = cells_.reservations_requested->value();
+  stats_view_.reservations_granted = cells_.reservations_granted->value();
+  stats_view_.reservations_failed = cells_.reservations_failed->value();
+  stats_view_.reservations_cancelled = cells_.reservations_cancelled->value();
+  stats_view_.rereservations = cells_.rereservations->value();
+  stats_view_.enactments = cells_.enactments->value();
+  stats_view_.enact_failures = cells_.enact_failures->value();
+  return stats_view_;
+}
+
+void EnactorObject::ResetStats() {
+  cells_.negotiations->Reset();
+  cells_.reservations_requested->Reset();
+  cells_.reservations_granted->Reset();
+  cells_.reservations_failed->Reset();
+  cells_.reservations_cancelled->Reset();
+  cells_.rereservations->Reset();
+  cells_.enactments->Reset();
+  cells_.enact_failures->Reset();
+  cells_.negotiation_rounds->Reset();
 }
 
 void EnactorObject::LookupDemand(const Loid& class_loid,
@@ -55,7 +95,7 @@ void EnactorObject::LookupDemand(const Loid& class_loid,
 
 void EnactorObject::MakeReservations(const ScheduleRequestList& request,
                                      Callback<ScheduleFeedback> done) {
-  ++stats_.negotiations;
+  cells_.negotiations->Add();
   Status valid = request.Validate();
   if (!valid.ok()) {
     ScheduleFeedback feedback;
@@ -98,6 +138,7 @@ void EnactorObject::RequestMissing(const std::shared_ptr<Negotiation>& n) {
     Succeed(n);
     return;
   }
+  cells_.negotiation_rounds->Add();
   n->outstanding = missing.size();
   for (std::size_t index : missing) ReserveIndex(n, index);
 }
@@ -108,9 +149,15 @@ void EnactorObject::ReserveIndex(const std::shared_ptr<Negotiation>& n,
   // Thrash metric: are we remaking a reservation we held and cancelled?
   const auto& history = n->cancelled_history[index];
   if (std::find(history.begin(), history.end(), mapping) != history.end()) {
-    ++stats_.rereservations;
+    cells_.rereservations->Add();
+    if (kernel()->trace().enabled()) {
+      kernel()->trace().Instant(kernel()->Now(), "rereservation", "enactor",
+                                kernel()->trace().current(),
+                                {{"host", mapping.host.ToString()},
+                                 {"index", std::to_string(index)}});
+    }
   }
-  ++stats_.reservations_requested;
+  cells_.reservations_requested->Add();
 
   ReservationRequest request;
   request.vault = mapping.vault;
@@ -131,15 +178,23 @@ void EnactorObject::ReserveIndex(const std::shared_ptr<Negotiation>& n,
       [this, n, index](Result<ReservationToken> result) {
         if (n->finished) return;
         if (result.ok()) {
-          ++stats_.reservations_granted;
+          cells_.reservations_granted->Add();
           n->tokens[index] = std::move(*result);
         } else {
-          ++stats_.reservations_failed;
+          cells_.reservations_failed->Add();
           n->last_code = result.status().code();
           n->last_error = result.status().message();
         }
+        if (kernel()->trace().enabled()) {
+          kernel()->trace().Instant(
+              kernel()->Now(), result.ok() ? "reserve_ok" : "reserve_fail",
+              "enactor", kernel()->trace().current(),
+              {{"host", n->current[index].host.ToString()},
+               {"index", std::to_string(index)}});
+        }
         if (--n->outstanding == 0) OnRoundComplete(n);
-      });
+      },
+      "make_reservation");
 }
 
 void EnactorObject::CancelHeld(const std::shared_ptr<Negotiation>& n,
@@ -148,14 +203,14 @@ void EnactorObject::CancelHeld(const std::shared_ptr<Negotiation>& n,
   const ReservationToken token = *n->tokens[index];
   n->cancelled_history[index].push_back(n->current[index]);
   n->tokens[index].reset();
-  ++stats_.reservations_cancelled;
+  cells_.reservations_cancelled->Add();
   CallOn<bool, HostInterface>(
       kernel(), loid(), token.host, kSmallMessage, kSmallMessage,
       options_.rpc_timeout,
       [token](HostInterface& host, Callback<bool> reply) {
         host.CancelReservation(token, std::move(reply));
       },
-      [](Result<bool>) { /* best effort */ });
+      [](Result<bool>) { /* best effort */ }, "cancel_reservation");
 }
 
 void EnactorObject::OnRoundComplete(const std::shared_ptr<Negotiation>& n) {
@@ -191,6 +246,11 @@ void EnactorObject::OnRoundComplete(const std::shared_ptr<Negotiation>& n) {
     }
     for (std::size_t v : chosen) {
       n->applied_variants.push_back(v);
+      if (kernel()->trace().enabled()) {
+        kernel()->trace().Instant(kernel()->Now(), "variant_applied",
+                                  "enactor", kernel()->trace().current(),
+                                  {{"variant", std::to_string(v)}});
+      }
       for (const auto& [index, mapping] : master.variants[v].mappings) {
         // Cancel only the reservations the variant actually replaces.
         CancelHeld(n, index);
@@ -260,7 +320,7 @@ void EnactorObject::CancelReservations(
   state->outstanding = tokens.size();
   state->done = std::move(done);
   for (const ReservationToken& token : tokens) {
-    ++stats_.reservations_cancelled;
+    cells_.reservations_cancelled->Add();
     CallOn<bool, HostInterface>(
         kernel(), loid(), token.host, kSmallMessage, kSmallMessage,
         options_.rpc_timeout,
@@ -270,7 +330,8 @@ void EnactorObject::CancelReservations(
         [state](Result<bool> r) {
           if (r.ok() && *r) ++state->cancelled;
           if (--state->outstanding == 0) state->done(state->cancelled);
-        });
+        },
+        "cancel_reservation");
   }
 }
 
@@ -281,11 +342,11 @@ void EnactorObject::CancelReservations(const ScheduleFeedback& feedback,
 
 void EnactorObject::EnactSchedule(const ScheduleFeedback& feedback,
                                   Callback<EnactResult> done) {
-  ++stats_.enactments;
+  cells_.enactments->Add();
   if (!feedback.success ||
       feedback.reserved_mappings.size() != feedback.tokens.size() ||
       feedback.reserved_mappings.empty()) {
-    ++stats_.enact_failures;
+    cells_.enact_failures->Add();
     EnactResult result;
     result.success = false;
     done(std::move(result));
@@ -328,11 +389,12 @@ void EnactorObject::EnactSchedule(const ScheduleFeedback& feedback,
             result.success =
                 std::all_of(state->instances.begin(), state->instances.end(),
                             [](const Result<Loid>& r) { return r.ok(); });
-            if (!result.success) ++stats_.enact_failures;
+            if (!result.success) cells_.enact_failures->Add();
             result.instances = std::move(state->instances);
             state->done(std::move(result));
           }
-        });
+        },
+        "create_instance");
   }
 }
 

@@ -51,6 +51,9 @@ struct EnactorOptions {
   bool use_variant_bitmaps = true;
 };
 
+// Negotiation statistics.  The registry cells (labels
+// {component=enactor}) are the source of truth; this struct is the thin
+// view stats() refreshes from them.
 struct EnactorStats {
   std::uint64_t negotiations = 0;
   std::uint64_t reservations_requested = 0;
@@ -86,8 +89,8 @@ class EnactorObject : public LegionObject {
                      Callback<EnactResult> done);
 
   EnactorOptions& options() { return options_; }
-  const EnactorStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = EnactorStats{}; }
+  const EnactorStats& stats() const;
+  void ResetStats();
 
  private:
   struct Negotiation;
@@ -106,8 +109,22 @@ class EnactorObject : public LegionObject {
   void LookupDemand(const Loid& class_loid, std::size_t* memory_mb,
                     double* cpu_fraction) const;
 
+  // Pre-resolved metrics cells; hot-path updates are one atomic add.
+  struct Cells {
+    obs::Counter* negotiations;
+    obs::Counter* reservations_requested;
+    obs::Counter* reservations_granted;
+    obs::Counter* reservations_failed;
+    obs::Counter* reservations_cancelled;
+    obs::Counter* rereservations;
+    obs::Counter* enactments;
+    obs::Counter* enact_failures;
+    obs::Counter* negotiation_rounds;
+  };
+
   EnactorOptions options_;
-  EnactorStats stats_;
+  Cells cells_;
+  mutable EnactorStats stats_view_;
 };
 
 }  // namespace legion

@@ -12,6 +12,8 @@ MonitorObject::MonitorObject(SimKernel* kernel, Loid loid)
   kernel->network().RegisterEndpoint(loid, loid.domain());
   (void)Activate(loid, Loid());
   mutable_attributes().Set("service", "monitor");
+  events_cell_ = kernel->metrics().GetCounter("monitor_events",
+                                              {{"component", "monitor"}});
 }
 
 void MonitorObject::WatchHost(HostObject* host, const std::string& event_name) {
@@ -48,7 +50,12 @@ std::string MonitorObject::WatchLoadThreshold(HostObject* host,
 }
 
 void MonitorObject::OnEvent(const RgeEvent& event) {
-  ++events_received_;
+  events_cell_->Add();
+  obs::TraceLog& trace = kernel()->trace();
+  if (trace.enabled()) {
+    trace.Instant(kernel()->Now(), "monitor_event", "monitor", trace.current(),
+                  {{"event", event.name}});
+  }
   if (handler_) handler_(event);
 }
 

@@ -44,13 +44,14 @@ class MonitorObject : public LegionObject {
     handler_ = std::move(handler);
   }
 
-  std::uint64_t events_received() const { return events_received_; }
+  std::uint64_t events_received() const { return events_cell_->value(); }
 
  private:
   void OnEvent(const RgeEvent& event);
 
   RescheduleHandler handler_;
-  std::uint64_t events_received_ = 0;
+  // Registry cell ({component=monitor}).
+  obs::Counter* events_cell_ = nullptr;
 };
 
 }  // namespace legion

@@ -20,18 +20,25 @@ SchedulerObject::SchedulerObject(SimKernel* kernel, Loid loid,
   (void)Activate(loid, Loid());
   mutable_attributes().Set("service", "scheduler");
   mutable_attributes().Set("scheduler_name", name_);
+
+  const obs::Labels labels = {{"component", "scheduler"},
+                              {"scheduler", name_}};
+  runs_cell_ = kernel->metrics().GetCounter("scheduler_runs", labels);
+  successes_cell_ = kernel->metrics().GetCounter("scheduler_successes", labels);
+  lookups_cell_ = kernel->metrics().GetCounter("collection_lookups", labels);
 }
 
 void SchedulerObject::QueryHosts(const std::string& query,
                                  Callback<CollectionData> done) {
   ++collection_lookups_;
+  lookups_cell_->Add();
   CallOn<CollectionData, CollectionObject>(
       kernel(), loid(), collection_, kSmallMessage, kLargeMessage,
       kDefaultRpcTimeout,
       [query](CollectionObject& collection, Callback<CollectionData> reply) {
         collection.QueryCollection(query, std::move(reply));
       },
-      std::move(done));
+      std::move(done), "query_collection");
 }
 
 void SchedulerObject::GetImplementations(
@@ -42,7 +49,7 @@ void SchedulerObject::GetImplementations(
       [](ClassInterface& klass, Callback<std::vector<Implementation>> reply) {
         klass.GetImplementations(std::move(reply));
       },
-      std::move(done));
+      std::move(done), "get_implementations");
 }
 
 std::string SchedulerObject::HostMatchQuery(
@@ -95,11 +102,34 @@ struct SchedulerObject::RunState {
 void SchedulerObject::ScheduleAndEnact(const PlacementRequest& request,
                                        RunOptions options,
                                        Callback<RunOutcome> done) {
+  runs_cell_->Add();
   auto state = std::make_shared<RunState>();
   state->request = request;
   state->options = options;
-  state->done = std::move(done);
-  RunScheduleAttempt(state);
+  // Root span of the negotiation: everything the run causes -- the
+  // Collection query, each reservation round, the enactment -- hangs off
+  // this ID in the trace.
+  obs::TraceLog& trace = kernel()->trace();
+  obs::SpanId span = obs::kNoSpan;
+  if (trace.enabled()) {
+    span = trace.BeginSpan(kernel()->Now(), "schedule_and_enact", "scheduler",
+                           trace.current(), {{"scheduler", name_}});
+  }
+  state->done = [this, span, done = std::move(done)](Result<RunOutcome> r) {
+    if (r.ok() && r->success) successes_cell_->Add();
+    if (span != obs::kNoSpan) {
+      kernel()->trace().EndSpan(
+          kernel()->Now(), span,
+          {{"success", r.ok() && r->success ? "true" : "false"}});
+    }
+    done(std::move(r));
+  };
+  if (span != obs::kNoSpan) {
+    obs::ScopedCurrent ctx(trace, span);
+    RunScheduleAttempt(state);
+  } else {
+    RunScheduleAttempt(state);
+  }
 }
 
 void SchedulerObject::RunScheduleAttempt(
@@ -175,8 +205,10 @@ void SchedulerObject::RunEnactAttempt(const std::shared_ptr<RunState>& state,
                                             [](Result<std::size_t>) {});
               }
               RunEnactAttempt(state, schedule);
-            });
-      });
+            },
+            "enact_schedule");
+      },
+      "make_reservations");
 }
 
 }  // namespace legion

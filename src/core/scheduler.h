@@ -103,6 +103,10 @@ class SchedulerObject : public LegionObject {
   Loid collection_;
   Loid enactor_;
   std::uint64_t collection_lookups_ = 0;
+  // Registry cells ({component=scheduler, scheduler=<name>}).
+  obs::Counter* runs_cell_ = nullptr;
+  obs::Counter* successes_cell_ = nullptr;
+  obs::Counter* lookups_cell_ = nullptr;
 };
 
 }  // namespace legion

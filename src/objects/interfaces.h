@@ -192,12 +192,13 @@ class CollectionSink {
 // Routes a method call on a remote interface through the kernel: resolves
 // the target LOID at delivery time, downcasts to the expected interface,
 // and invokes.  Unknown or wrong-typed targets complete with kUnavailable.
+// `op` names the call in traces (static string).
 template <typename T, typename Iface>
 void CallOn(SimKernel* kernel, const Loid& from, const Loid& to,
             std::size_t request_bytes, std::size_t reply_bytes,
             Duration timeout,
             std::function<void(Iface&, Callback<T>)> method,
-            Callback<T> done) {
+            Callback<T> done, const char* op = "rpc") {
   kernel->AsyncCall<T>(
       from, to, request_bytes, reply_bytes, timeout,
       [kernel, to, method = std::move(method)](Callback<T> reply) {
@@ -210,7 +211,7 @@ void CallOn(SimKernel* kernel, const Loid& from, const Loid& to,
         }
         method(*iface, std::move(reply));
       },
-      std::move(done));
+      std::move(done), op);
 }
 
 // Nominal message sizes (bytes) used for bandwidth accounting.

@@ -1,0 +1,154 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "obs/json.h"
+
+namespace legion::obs {
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  assert(std::is_sorted(bounds_.begin(), bounds_.end()));
+  buckets_ = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+void Histogram::Observe(double v) {
+  std::size_t i = 0;
+  while (i < bounds_.size() && v > bounds_[i]) ++i;
+  buckets_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  detail::AtomicAdd(sum_, v);
+}
+
+void Histogram::Reset() {
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+const std::vector<double>& LatencyBucketsUs() {
+  static const std::vector<double> kBuckets = {
+      100.0,   250.0,   500.0,   1e3, 2.5e3, 5e3, 1e4, 2.5e4, 5e4,
+      1e5,     2.5e5,   5e5,     1e6, 2.5e6, 5e6, 1e7, 1e8,   1e9};
+  return kBuckets;
+}
+
+std::string MetricsRegistry::CellKey(std::string_view name,
+                                     const Labels& labels) {
+  std::string key(name);
+  if (labels.empty()) return key;
+  Labels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  key += '{';
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    if (i != 0) key += ',';
+    key += sorted[i].first;
+    key += '=';
+    key += sorted[i].second;
+  }
+  key += '}';
+  return key;
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name,
+                                     const Labels& labels) {
+  const std::string key = CellKey(name, labels);
+  std::lock_guard lock(mutex_);
+  auto& cell = counters_[key];
+  if (!cell) cell = std::make_unique<Counter>();
+  return cell.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name, const Labels& labels) {
+  const std::string key = CellKey(name, labels);
+  std::lock_guard lock(mutex_);
+  auto& cell = gauges_[key];
+  if (!cell) cell = std::make_unique<Gauge>();
+  return cell.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name,
+                                         const Labels& labels,
+                                         std::vector<double> bounds) {
+  const std::string key = CellKey(name, labels);
+  std::lock_guard lock(mutex_);
+  auto& cell = histograms_[key];
+  if (!cell) cell = std::make_unique<Histogram>(std::move(bounds));
+  return cell.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snapshot;
+  std::lock_guard lock(mutex_);
+  for (const auto& [key, cell] : counters_) {
+    snapshot.counters[key] = cell->value();
+  }
+  for (const auto& [key, cell] : gauges_) {
+    snapshot.gauges[key] = cell->value();
+  }
+  for (const auto& [key, cell] : histograms_) {
+    HistogramValue value;
+    value.bounds = cell->bounds();
+    value.buckets.reserve(value.bounds.size() + 1);
+    for (std::size_t i = 0; i <= value.bounds.size(); ++i) {
+      value.buckets.push_back(cell->bucket_count(i));
+    }
+    value.count = cell->count();
+    value.sum = cell->sum();
+    snapshot.histograms[key] = std::move(value);
+  }
+  return snapshot;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard lock(mutex_);
+  for (auto& [key, cell] : counters_) cell->Reset();
+  for (auto& [key, cell] : gauges_) cell->Reset();
+  for (auto& [key, cell] : histograms_) cell->Reset();
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [key, value] : counters) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    " + JsonString(key) + ": " + JsonNumber(value);
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [key, value] : gauges) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    " + JsonString(key) + ": " + JsonNumber(value);
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [key, value] : histograms) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    " + JsonString(key) + ": {\"count\": " +
+           JsonNumber(value.count) + ", \"sum\": " + JsonNumber(value.sum) +
+           ", \"buckets\": [";
+    for (std::size_t i = 0; i < value.buckets.size(); ++i) {
+      if (i != 0) out += ", ";
+      out += "{\"le\": ";
+      out += i < value.bounds.size() ? JsonNumber(value.bounds[i])
+                                     : std::string("\"+inf\"");
+      out += ", \"count\": " + JsonNumber(value.buckets[i]) + "}";
+    }
+    out += "]}";
+  }
+  out += first ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+}  // namespace legion::obs

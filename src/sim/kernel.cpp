@@ -5,6 +5,48 @@ namespace legion {
 SimKernel::SimKernel(NetworkParams net_params, std::uint64_t seed)
     : now_(SimTime::Zero()), network_(net_params) {
   (void)seed;  // reserved for future kernel-level randomness
+  const obs::Labels kernel_labels = {{"component", "kernel"}};
+  cells_.events_run = metrics_.GetCounter("events_run", kernel_labels);
+  cells_.messages_sent = metrics_.GetCounter("messages_sent", kernel_labels);
+  cells_.messages_dropped =
+      metrics_.GetCounter("messages_dropped", kernel_labels);
+  cells_.bytes_sent = metrics_.GetCounter("bytes_sent", kernel_labels);
+  cells_.rpcs_started = metrics_.GetCounter("rpcs_started", kernel_labels);
+  cells_.rpcs_completed = metrics_.GetCounter("rpcs_completed", kernel_labels);
+  cells_.rpcs_timed_out = metrics_.GetCounter("rpcs_timed_out", kernel_labels);
+  cells_.rpc_latency_ok = metrics_.GetHistogram(
+      "rpc_latency_us", {{"component", "kernel"}, {"outcome", "ok"}},
+      obs::LatencyBucketsUs());
+  cells_.rpc_latency_timeout = metrics_.GetHistogram(
+      "rpc_latency_us", {{"component", "kernel"}, {"outcome", "timeout"}},
+      obs::LatencyBucketsUs());
+  cells_.rpc_latency_error = metrics_.GetHistogram(
+      "rpc_latency_us", {{"component", "kernel"}, {"outcome", "error"}},
+      obs::LatencyBucketsUs());
+}
+
+const KernelStats& SimKernel::stats() const {
+  stats_view_.events_run = cells_.events_run->value();
+  stats_view_.messages_sent = cells_.messages_sent->value();
+  stats_view_.messages_dropped = cells_.messages_dropped->value();
+  stats_view_.bytes_sent = cells_.bytes_sent->value();
+  stats_view_.rpcs_started = cells_.rpcs_started->value();
+  stats_view_.rpcs_completed = cells_.rpcs_completed->value();
+  stats_view_.rpcs_timed_out = cells_.rpcs_timed_out->value();
+  return stats_view_;
+}
+
+void SimKernel::ResetStats() {
+  cells_.events_run->Reset();
+  cells_.messages_sent->Reset();
+  cells_.messages_dropped->Reset();
+  cells_.bytes_sent->Reset();
+  cells_.rpcs_started->Reset();
+  cells_.rpcs_completed->Reset();
+  cells_.rpcs_timed_out->Reset();
+  cells_.rpc_latency_ok->Reset();
+  cells_.rpc_latency_timeout->Reset();
+  cells_.rpc_latency_error->Reset();
 }
 
 EventId SimKernel::ScheduleAt(SimTime when, EventQueue::EventFn fn) {
@@ -54,7 +96,7 @@ std::uint64_t SimKernel::RunUntil(SimTime until) {
     now_ = ev.when;
     ev.fn();
     ++executed;
-    ++stats_.events_run;
+    cells_.events_run->Add();
   }
   if (now_ < until && until < SimTime::Max()) now_ = until;
   return executed;
@@ -75,14 +117,35 @@ void SimKernel::RemoveActor(const Loid& loid) { actors_.erase(loid); }
 
 bool SimKernel::Send(const Loid& from, const Loid& to, std::size_t bytes,
                      std::function<void()> fn) {
-  ++stats_.messages_sent;
-  stats_.bytes_sent += bytes;
+  cells_.messages_sent->Add();
+  cells_.bytes_sent->Add(bytes);
   auto latency = network_.Latency(from, to, bytes, now_);
   if (!latency) {
-    ++stats_.messages_dropped;
+    cells_.messages_dropped->Add();
+    if (trace_.enabled()) {
+      trace_.Instant(now_, "msg_drop", "net", trace_.current(),
+                     {{"from", from.ToString()}, {"to", to.ToString()}});
+    }
     return false;
   }
-  ScheduleAfter(*latency, std::move(fn));
+  if (trace_.enabled()) {
+    // A span per message in flight; the delivery handler runs inside it,
+    // so work the receiver starts is caused-by this message.
+    const obs::SpanId span =
+        trace_.BeginSpan(now_, "msg", "net", trace_.current(),
+                         {{"from", from.ToString()},
+                          {"to", to.ToString()},
+                          {"bytes", std::to_string(bytes)}});
+    ScheduleAfter(*latency, [this, span, fn = std::move(fn)] {
+      {
+        obs::ScopedCurrent ctx(trace_, span);
+        fn();
+      }
+      trace_.EndSpan(now_, span);
+    });
+  } else {
+    ScheduleAfter(*latency, std::move(fn));
+  }
   return true;
 }
 

@@ -24,6 +24,8 @@
 #include "base/loid.h"
 #include "base/result.h"
 #include "base/sim_time.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/event_queue.h"
 #include "sim/network.h"
 
@@ -54,7 +56,9 @@ class Actor {
 template <typename T>
 using Callback = std::function<void(Result<T>)>;
 
-// Kernel-wide statistics, exposed to benchmarks.
+// Kernel-wide statistics, exposed to benchmarks.  The registry cells in
+// metrics() are the source of truth; this struct is the thin view
+// stats() refreshes from them (reads its fields right after the call).
 struct KernelStats {
   std::uint64_t events_run = 0;
   std::uint64_t messages_sent = 0;
@@ -72,8 +76,18 @@ class SimKernel {
   SimTime Now() const { return now_; }
   NetworkModel& network() { return network_; }
   LoidMinter& minter() { return minter_; }
-  const KernelStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = KernelStats{}; }
+  const KernelStats& stats() const;
+  // Zeroes the kernel's own cells (messages, events, RPCs + latency
+  // histograms); other components' registry cells are untouched.
+  void ResetStats();
+
+  // ---- Observability ----------------------------------------------------
+  // Every component of this simulated world reports into this registry /
+  // trace log; see DESIGN.md "Observability".
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
+  obs::TraceLog& trace() { return trace_; }
+  const obs::TraceLog& trace() const { return trace_; }
 
   // ---- Event scheduling -------------------------------------------------
   EventId ScheduleAt(SimTime when, EventQueue::EventFn fn);
@@ -119,18 +133,37 @@ class SimKernel {
   // calls the reply callback the result is delivered back to the caller
   // after reply latency.  If no reply lands before `timeout`, `done` gets
   // ErrorCode::kTimeout (this also covers dropped messages).  `done` is
-  // invoked exactly once.
+  // invoked exactly once.  `op` names the call in traces and must be a
+  // static string ("query_collection", "make_reservation", ...).
   template <typename T>
   void AsyncCall(const Loid& from, const Loid& to, std::size_t request_bytes,
                  std::size_t reply_bytes, Duration timeout,
-                 std::function<void(Callback<T>)> invoke, Callback<T> done);
+                 std::function<void(Callback<T>)> invoke, Callback<T> done,
+                 const char* op = "rpc");
 
  private:
+  // Pre-resolved registry cells for the kernel's own hot-path metrics.
+  struct Cells {
+    obs::Counter* events_run;
+    obs::Counter* messages_sent;
+    obs::Counter* messages_dropped;
+    obs::Counter* bytes_sent;
+    obs::Counter* rpcs_started;
+    obs::Counter* rpcs_completed;
+    obs::Counter* rpcs_timed_out;
+    obs::Histogram* rpc_latency_ok;
+    obs::Histogram* rpc_latency_timeout;
+    obs::Histogram* rpc_latency_error;
+  };
+
   SimTime now_;
   EventQueue queue_;
   NetworkModel network_;
   LoidMinter minter_;
-  KernelStats stats_;
+  obs::MetricsRegistry metrics_;
+  obs::TraceLog trace_;
+  Cells cells_;
+  mutable KernelStats stats_view_;
   std::unordered_map<Loid, std::unique_ptr<Actor>> actors_;
   std::unordered_map<PeriodicId, EventId> periodic_;
   PeriodicId next_periodic_ = 1;
@@ -144,8 +177,18 @@ void SimKernel::AsyncCall(const Loid& from, const Loid& to,
                           std::size_t request_bytes, std::size_t reply_bytes,
                           Duration timeout,
                           std::function<void(Callback<T>)> invoke,
-                          Callback<T> done) {
-  ++stats_.rpcs_started;
+                          Callback<T> done, const char* op) {
+  cells_.rpcs_started->Add();
+  const SimTime started = now_;
+  // Causal span for the whole call; the callee runs inside it, so RPCs it
+  // issues become children and the negotiation tree links up.
+  obs::SpanId span = obs::kNoSpan;
+  obs::SpanId caller_span = obs::kNoSpan;
+  if (trace_.enabled()) {
+    caller_span = trace_.current();
+    span = trace_.BeginSpan(now_, op, "rpc", caller_span,
+                            {{"from", from.ToString()}, {"to", to.ToString()}});
+  }
   // Shared completion record: whichever of {reply, timeout} fires first
   // wins; the loser is suppressed.
   struct Pending {
@@ -153,18 +196,34 @@ void SimKernel::AsyncCall(const Loid& from, const Loid& to,
     EventId timeout_event = kInvalidEventId;
   };
   auto pending = std::make_shared<Pending>();
-  auto finish = [this, pending, done = std::move(done)](Result<T> r) {
+  auto finish = [this, pending, span, caller_span, started,
+                 done = std::move(done)](Result<T> r) {
     if (pending->finished) return;
     pending->finished = true;
     if (pending->timeout_event != kInvalidEventId) {
       queue_.Cancel(pending->timeout_event);
     }
+    const char* outcome;
+    const double latency_us = static_cast<double>((now_ - started).micros());
     if (r.ok()) {
-      ++stats_.rpcs_completed;
+      cells_.rpcs_completed->Add();
+      cells_.rpc_latency_ok->Observe(latency_us);
+      outcome = "ok";
     } else if (r.code() == ErrorCode::kTimeout) {
-      ++stats_.rpcs_timed_out;
+      cells_.rpcs_timed_out->Add();
+      cells_.rpc_latency_timeout->Observe(latency_us);
+      outcome = "timeout";
     } else {
-      ++stats_.rpcs_completed;
+      cells_.rpcs_completed->Add();
+      cells_.rpc_latency_error->Observe(latency_us);
+      outcome = "error";
+    }
+    if (span != obs::kNoSpan) {
+      trace_.EndSpan(now_, span, {{"outcome", outcome}});
+      // The continuation belongs to the caller's context, not the RPC's.
+      obs::ScopedCurrent ctx(trace_, caller_span);
+      done(std::move(r));
+      return;
     }
     done(std::move(r));
   };
@@ -184,10 +243,16 @@ void SimKernel::AsyncCall(const Loid& from, const Loid& to,
          [finish, r = std::move(r)]() mutable { finish(std::move(r)); });
   };
 
-  // Request path.
+  // Request path.  The callee executes with the RPC span current.
   Send(from, to, request_bytes,
-       [invoke = std::move(invoke), reply_cb = std::move(reply_cb)]() mutable {
-         invoke(std::move(reply_cb));
+       [this, span, invoke = std::move(invoke),
+        reply_cb = std::move(reply_cb)]() mutable {
+         if (span != obs::kNoSpan && trace_.enabled()) {
+           obs::ScopedCurrent ctx(trace_, span);
+           invoke(std::move(reply_cb));
+         } else {
+           invoke(std::move(reply_cb));
+         }
        });
 }
 

@@ -162,4 +162,9 @@ void Metacomputer::PopulateCollection() {
   kernel_->RunFor(Duration::Seconds(2));
 }
 
+void Metacomputer::ResetAllStats() {
+  kernel_->ResetStats();
+  enactor_->ResetStats();
+}
+
 }  // namespace legion

@@ -6,7 +6,16 @@ namespace legion {
 
 WorkloadSession::WorkloadSession(Metacomputer* metacomputer,
                                  SchedulerObject* scheduler)
-    : metacomputer_(metacomputer), scheduler_(scheduler) {}
+    : metacomputer_(metacomputer), scheduler_(scheduler) {
+  obs::MetricsRegistry& metrics = metacomputer->kernel()->metrics();
+  const obs::Labels labels = {{"component", "session"}};
+  offered_cell_ = metrics.GetCounter("apps_offered", labels);
+  placed_cell_ = metrics.GetCounter("apps_placed", labels);
+  completed_cell_ = metrics.GetCounter("apps_completed", labels);
+  turnaround_cell_ = metrics.GetHistogram(
+      "app_turnaround_s", labels,
+      {1.0, 5.0, 15.0, 30.0, 60.0, 120.0, 300.0, 600.0, 1800.0, 3600.0});
+}
 
 void WorkloadSession::Submit(const ApplicationSpec& app) {
   SimKernel* kernel = metacomputer_->kernel();
@@ -15,6 +24,7 @@ void WorkloadSession::Submit(const ApplicationSpec& app) {
   result.app_id = app_index;
   result.arrived = kernel->Now();
   results_.push_back(result);
+  offered_cell_->Add();
 
   ClassObject* klass = metacomputer_->MakeUniversalClass(
       app.name + "#" + std::to_string(app_index),
@@ -23,6 +33,7 @@ void WorkloadSession::Submit(const ApplicationSpec& app) {
       {{klass->loid(), app.instances}}, RunOptions{2, 2},
       [this, app_index, app](Result<RunOutcome> outcome) {
         if (!outcome.ok() || !outcome->success) return;  // rejected
+        placed_cell_->Add();
         results_[app_index].placed = true;
         results_[app_index].placed_at = metacomputer_->kernel()->Now();
         RunApplication(app_index, app, *outcome);
@@ -57,6 +68,8 @@ void WorkloadSession::RunApplication(std::size_t app_index,
           }
         }
         results_[app_index].finished_at = metacomputer_->kernel()->Now();
+        completed_cell_->Add();
+        turnaround_cell_->Observe(results_[app_index].turnaround().seconds());
       });
 }
 

@@ -68,6 +68,12 @@ class WorkloadSession {
   SchedulerObject* scheduler_;
   std::vector<SessionAppResult> results_;
   std::uint64_t next_class_serial_ = 5000;
+  // Registry cells ({component=session}); live mirrors of the counts
+  // Stats() derives from results_.
+  obs::Counter* offered_cell_ = nullptr;
+  obs::Counter* placed_cell_ = nullptr;
+  obs::Counter* completed_cell_ = nullptr;
+  obs::Histogram* turnaround_cell_ = nullptr;
 };
 
 }  // namespace legion

@@ -34,11 +34,8 @@ class FailureTest : public ::testing::Test {
 };
 
 TEST_F(FailureTest, HostCrashMidNegotiationTimesOutAndVariantsRecover) {
-  // Host 1 vanishes (crash) before the negotiation starts; the RPC to it
-  // times out and the variant machinery routes around the corpse.
   world_.enactor->options().rpc_timeout = Duration::Seconds(5);
   const Loid dead_host = world_.hosts[1]->loid();
-  world_.kernel.RemoveActor(dead_host);
 
   ScheduleRequestList request;
   MasterSchedule master;
@@ -49,6 +46,11 @@ TEST_F(FailureTest, HostCrashMidNegotiationTimesOutAndVariantsRecover) {
   variant.mappings.emplace_back(1, MappingTo(2));
   master.variants.push_back(variant);
   request.masters.push_back(master);
+
+  // Host 1 vanishes (crash) before the negotiation starts; the RPC to it
+  // times out and the variant machinery routes around the corpse.
+  // (Removing the actor frees it, so the schedule was built first.)
+  world_.kernel.RemoveActor(dead_host);
 
   Await<ScheduleFeedback> feedback;
   world_.enactor->MakeReservations(request, feedback.Sink());

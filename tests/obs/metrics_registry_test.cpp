@@ -1,0 +1,116 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace legion::obs {
+namespace {
+
+TEST(Counter, AddsAndResets) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Add();
+  c.Add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Gauge, SetAndAdd) {
+  Gauge g;
+  g.Set(2.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.5);
+  g.Add(-1.0);
+  EXPECT_DOUBLE_EQ(g.value(), 1.5);
+  g.Reset();
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+TEST(Histogram, BucketsAreInclusiveUpperBounds) {
+  Histogram h({10.0, 100.0});
+  h.Observe(10.0);   // lands in the <=10 bucket (inclusive)
+  h.Observe(10.1);   // <=100
+  h.Observe(1000.0); // +inf
+  EXPECT_EQ(h.bucket_count(0), 1u);
+  EXPECT_EQ(h.bucket_count(1), 1u);
+  EXPECT_EQ(h.bucket_count(2), 1u);  // implicit +inf bucket
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.sum(), 1020.1);
+  EXPECT_DOUBLE_EQ(h.mean(), 1020.1 / 3.0);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.bucket_count(2), 0u);
+}
+
+TEST(MetricsRegistry, SameNameAndLabelsResolveToSameCell) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("hits", {{"component", "x"}});
+  Counter* b = registry.GetCounter("hits", {{"component", "x"}});
+  Counter* other = registry.GetCounter("hits", {{"component", "y"}});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, other);
+}
+
+TEST(MetricsRegistry, LabelOrderIsCanonicalized) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("hits", {{"a", "1"}, {"b", "2"}});
+  Counter* b = registry.GetCounter("hits", {{"b", "2"}, {"a", "1"}});
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(MetricsRegistry::CellKey("hits", {{"b", "2"}, {"a", "1"}}),
+            "hits{a=1,b=2}");
+  EXPECT_EQ(MetricsRegistry::CellKey("hits", {}), "hits");
+}
+
+TEST(MetricsRegistry, SnapshotCarriesAllKinds) {
+  MetricsRegistry registry;
+  registry.GetCounter("events", {{"component", "kernel"}})->Add(7);
+  registry.GetGauge("load")->Set(0.5);
+  Histogram* h = registry.GetHistogram("lat_us", {}, {10.0, 100.0});
+  h->Observe(5.0);
+  h->Observe(50.0);
+
+  MetricsSnapshot snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.counters.at("events{component=kernel}"), 7u);
+  EXPECT_DOUBLE_EQ(snapshot.gauges.at("load"), 0.5);
+  const HistogramValue& hv = snapshot.histograms.at("lat_us");
+  EXPECT_EQ(hv.count, 2u);
+  EXPECT_DOUBLE_EQ(hv.sum, 55.0);
+  ASSERT_EQ(hv.buckets.size(), 3u);  // 2 bounds + inf
+  EXPECT_EQ(hv.buckets[0], 1u);
+  EXPECT_EQ(hv.buckets[1], 1u);
+  EXPECT_EQ(hv.buckets[2], 0u);
+}
+
+TEST(MetricsRegistry, JsonIsDeterministicAndStructured) {
+  MetricsRegistry registry;
+  // Register in non-sorted order; JSON keys must come out sorted.
+  registry.GetCounter("zeta")->Add(1);
+  registry.GetCounter("alpha")->Add(2);
+  registry.GetGauge("g")->Set(3.0);
+  registry.GetHistogram("h", {}, {1.0})->Observe(0.5);
+
+  const std::string json = registry.SnapshotJson();
+  EXPECT_EQ(json, registry.SnapshotJson());  // stable across snapshots
+  EXPECT_LT(json.find("\"alpha\""), json.find("\"zeta\""));
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"le\": \"+inf\""), std::string::npos);
+}
+
+TEST(MetricsRegistry, ResetZeroesCellsButKeepsPointers) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("n");
+  Histogram* h = registry.GetHistogram("h", {}, {1.0});
+  c->Add(5);
+  h->Observe(0.5);
+  registry.Reset();
+  EXPECT_EQ(c->value(), 0u);
+  EXPECT_EQ(h->count(), 0u);
+  // Same cells still resolve; the old pointers still work.
+  EXPECT_EQ(registry.GetCounter("n"), c);
+  c->Add(1);
+  EXPECT_EQ(registry.Snapshot().counters.at("n"), 1u);
+}
+
+}  // namespace
+}  // namespace legion::obs
