@@ -1,25 +1,46 @@
-// Experiment E4: Collection query throughput.
+// Experiment E4: Collection query engine -- scan vs index vs top-k.
 //
 // The Collection is on every scheduler's critical path.  This harness
-// times the query engine (google-benchmark) over record counts from 1e2
-// to 1e5, with three query shapes -- cheap field equality, the paper's
-// regexp match(), and a compound expression -- on both the serial and
-// the sharded-parallel evaluation paths.  Expected shape: cost linear in
-// records; regexp a constant factor over equality; the parallel path
-// overtaking serial somewhere in the 1e4-record range.
-#include <benchmark/benchmark.h>
+// ablates the query execution layer over growing record counts: the same
+// compiled query evaluated (a) by full scan (force_scan), (b) through
+// the attribute indexes, and (c) through the indexes with the
+// schedulers' bounded-pool options (order_by + max_results).  Expected
+// shape: scan linear in records; indexed point/range queries roughly
+// flat; regexp match() non-sargable, so identical in all modes.  A
+// second table locates the serial-vs-parallel crossover for the
+// non-sargable scan that motivates kParallelFanoutThreshold.
+//
+// Every indexed cell is checked byte-for-byte against the scan result
+// before timing (the planner-equivalence contract).
+#include <chrono>
+#include <cstdlib>
 
 #include "bench_util.h"
 
 namespace legion::bench {
 namespace {
 
+struct QueryCase {
+  const char* name;
+  std::string text;
+};
+
+std::vector<QueryCase> Cases() {
+  return {
+      {"point", "$host_name == \"host7\""},
+      {"arch+os", "$host_arch == \"x86\" and $host_os_name == \"Linux\""},
+      {"range", "$host_load < 0.1"},
+      {"compound",
+       "($host_arch == \"x86\" or $host_arch == \"alpha\") and "
+       "$host_load < 0.2"},
+      {"regex", "match($host_os_name, \"IRIX\") and "
+                "match(\"5\\\\..*\", $host_os_version)"},
+  };
+}
+
 std::unique_ptr<SimKernel> g_kernel;
 
 CollectionObject* BuildCollection(std::size_t records) {
-  static std::map<std::size_t, CollectionObject*> cache;
-  auto it = cache.find(records);
-  if (it != cache.end()) return it->second;
   if (!g_kernel) g_kernel = std::make_unique<SimKernel>(QuietNet());
   auto* collection = g_kernel->AddActor<CollectionObject>(
       g_kernel->minter().Mint(LoidSpace::kService, 0));
@@ -38,66 +59,121 @@ CollectionObject* BuildCollection(std::size_t records) {
     collection->JoinCollection(Loid(LoidSpace::kHost, 0, i + 1), attrs,
                                [](Result<bool>) {});
   }
-  cache[records] = collection;
   return collection;
 }
 
-const char* QueryText(int shape) {
-  switch (shape) {
-    case 0:  // equality
-      return "$host_arch == \"x86\"";
-    case 1:  // the paper's regexp matching
-      return "match($host_os_name, \"IRIX\") and "
-             "match(\"5\\..*\", $host_os_version)";
-    default:  // compound
-      return "($host_arch == \"x86\" or $host_arch == \"alpha\") and "
-             "$host_load < 1.0 and $host_memory_mb >= 512 and "
-             "defined($host_cpus)";
+// Microseconds per call, timed over enough iterations to swamp clock
+// noise (at least ~25 ms of work per cell).
+template <typename Fn>
+double TimeUs(Fn&& fn) {
+  using Clock = std::chrono::steady_clock;
+  fn();  // warm up
+  std::size_t iterations = 1;
+  for (;;) {
+    const auto start = Clock::now();
+    for (std::size_t i = 0; i < iterations; ++i) fn();
+    const double us =
+        std::chrono::duration<double, std::micro>(Clock::now() - start)
+            .count();
+    if (us >= 25'000.0 || iterations >= 1u << 20) {
+      return us / static_cast<double>(iterations);
+    }
+    iterations *= 4;
   }
 }
 
-void BM_QuerySerial(benchmark::State& state) {
-  CollectionObject* collection =
-      BuildCollection(static_cast<std::size_t>(state.range(0)));
-  auto query = query::CompiledQuery::Compile(
-      QueryText(static_cast<int>(state.range(1))));
-  for (auto _ : state) {
-    auto result = collection->QueryLocal(*query);
-    benchmark::DoNotOptimize(result);
+bool SameMembers(const CollectionData& a, const CollectionData& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (!(a[i].member == b[i].member)) return false;
   }
-  state.SetItemsProcessed(state.iterations() * state.range(0));
+  return true;
 }
 
-void BM_QueryParallel(benchmark::State& state) {
-  CollectionObject* collection =
-      BuildCollection(static_cast<std::size_t>(state.range(0)));
-  auto query = query::CompiledQuery::Compile(
-      QueryText(static_cast<int>(state.range(1))));
-  const unsigned threads = static_cast<unsigned>(state.range(2));
-  for (auto _ : state) {
-    auto result = collection->QueryLocalParallel(*query, threads);
-    benchmark::DoNotOptimize(result);
+void RunAblation() {
+  Table table("E4 query engine ablation -- scan vs index vs index+top-k "
+              "(us/query)",
+              "records  query     matches  scan_us  index_us  topk_us  "
+              "idx_speedup  topk_speedup  path");
+  table.EnableJson("collection",
+                   {"records", "query", "matches", "scan_us", "index_us",
+                    "topk_us", "index_speedup", "topk_speedup", "path"});
+  table.Begin();
+
+  for (std::size_t records : {2000u, 10000u, 50000u}) {
+    CollectionObject* collection = BuildCollection(records);
+    for (const QueryCase& qc : Cases()) {
+      auto query = query::CompiledQuery::Compile(qc.text);
+      if (!query) {
+        std::fprintf(stderr, "compile failed: %s\n", qc.text.c_str());
+        std::exit(1);
+      }
+      QueryOptions scan;
+      scan.force_scan = true;
+      QueryOptions indexed;  // defaults
+      QueryOptions topk;
+      topk.max_results = 16;
+      topk.order_by = "host_load";
+
+      // Equivalence check before timing: the index path must reproduce
+      // the scan byte-for-byte.
+      const auto scan_result = *collection->QueryLocal(*query, scan);
+      const auto index_result = *collection->QueryLocal(*query, indexed);
+      if (!SameMembers(scan_result, index_result)) {
+        std::fprintf(stderr, "MISMATCH scan vs index: %s at %zu records\n",
+                     qc.name, records);
+        std::exit(1);
+      }
+
+      const std::uint64_t hits_before = collection->index_hits();
+      (void)collection->QueryLocal(*query, indexed);
+      const bool used_index = collection->index_hits() > hits_before;
+
+      const double scan_us =
+          TimeUs([&] { (void)collection->QueryLocal(*query, scan); });
+      const double index_us =
+          TimeUs([&] { (void)collection->QueryLocal(*query, indexed); });
+      const double topk_us =
+          TimeUs([&] { (void)collection->QueryLocal(*query, topk); });
+
+      table.Row("%7zu  %-8s  %7zu  %7.1f  %8.1f  %7.1f  %10.1fx  %11.1fx  %s",
+                {records, qc.name, scan_result.size(), scan_us, index_us,
+                 topk_us, scan_us / index_us, scan_us / topk_us,
+                 used_index ? "index" : "scan"});
+    }
   }
-  state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 
-void BM_QueryCompile(benchmark::State& state) {
-  const char* text = QueryText(static_cast<int>(state.range(0)));
-  for (auto _ : state) {
-    auto query = query::CompiledQuery::Compile(text);
-    benchmark::DoNotOptimize(query);
+void RunParallelCrossover() {
+  Table table("E4b serial vs parallel scan (non-sargable regexp), us/query",
+              "records  serial_us  par2_us  par4_us  par8_us");
+  table.EnableJson("collection_parallel",
+                   {"records", "serial_us", "par2_us", "par4_us", "par8_us"});
+  table.Begin();
+  const std::string text = "match($host_os_name, \"IRIX\") and "
+                           "match(\"5\\\\..*\", $host_os_version)";
+  auto query = query::CompiledQuery::Compile(text);
+  for (std::size_t records : {2000u, 8000u, 32000u, 100000u}) {
+    CollectionObject* collection = BuildCollection(records);
+    QueryOptions scan;
+    scan.force_scan = true;
+    const double serial_us =
+        TimeUs([&] { (void)collection->QueryLocal(*query, scan); });
+    std::vector<Cell> cells = {records, serial_us};
+    for (unsigned threads : {2u, 4u, 8u}) {
+      cells.push_back(TimeUs([&] {
+        (void)collection->QueryLocalParallel(*query, threads, scan);
+      }));
+    }
+    table.Row("%7zu  %9.1f  %7.1f  %7.1f  %7.1f", std::move(cells));
   }
 }
-
-BENCHMARK(BM_QuerySerial)
-    ->ArgsProduct({{100, 1000, 10000, 100000}, {0, 1, 2}})
-    ->Unit(benchmark::kMicrosecond);
-BENCHMARK(BM_QueryParallel)
-    ->ArgsProduct({{10000, 100000}, {0, 1, 2}, {2, 4, 8}})
-    ->Unit(benchmark::kMicrosecond);
-BENCHMARK(BM_QueryCompile)->DenseRange(0, 2)->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 }  // namespace legion::bench
 
-BENCHMARK_MAIN();
+int main() {
+  legion::bench::RunAblation();
+  legion::bench::RunParallelCrossover();
+  return 0;
+}

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Benchmark snapshot: builds (if needed) and runs the query-engine and
+# throughput harnesses, leaving their JSON mirrors next to the repo root
+# (BENCH_collection.json, BENCH_collection_parallel.json,
+# BENCH_throughput.json) for diffing across commits.
+# Usage: scripts/bench_snapshot.sh [build-dir]
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-$repo/build}"
+
+cmake -B "$build" -S "$repo" >/dev/null
+cmake --build "$build" -j "$(nproc)" --target bench_collection bench_throughput
+
+# The Table JSON mirror writes BENCH_<experiment>.json into the cwd.
+cd "$repo"
+"$build/bench/bench_collection"
+"$build/bench/bench_throughput"
+
+ls -l BENCH_collection.json BENCH_collection_parallel.json BENCH_throughput.json

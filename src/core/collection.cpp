@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <thread>
 
 namespace legion {
@@ -35,6 +36,12 @@ CollectionObject::CollectionObject(SimKernel* kernel, Loid loid,
   cells_.queries_served = metrics.GetCounter("queries_served", labels);
   cells_.updates_applied = metrics.GetCounter("updates_applied", labels);
   cells_.updates_rejected = metrics.GetCounter("updates_rejected", labels);
+  cells_.index_hits = metrics.GetCounter("index_hits", labels);
+  cells_.planner_fallbacks = metrics.GetCounter("planner_fallbacks", labels);
+  cells_.compile_cache_hits =
+      metrics.GetCounter("compile_cache_hits", labels);
+  cells_.compile_cache_misses =
+      metrics.GetCounter("compile_cache_misses", labels);
   cells_.query_wall_us =
       metrics.GetHistogram("collection_query_wall_us", labels,
                            {1.0, 5.0, 10.0, 50.0, 100.0, 500.0, 1e3, 5e3, 1e4,
@@ -55,6 +62,9 @@ void CollectionObject::Upsert(const Loid& member,
                               const AttributeDatabase& attributes) {
   std::unique_lock lock(store_mutex_);
   CollectionRecord& record = records_[member];
+  // Keep the indexes in lockstep with the store: unindex the outgoing
+  // attribute values before they are overwritten.
+  indexes_.Remove(member, record.attributes);
   record.member = member;
   record.attributes = attributes;
   // Every record self-identifies so injected functions can key external
@@ -62,6 +72,7 @@ void CollectionObject::Upsert(const Loid& member,
   record.attributes.Set("member", member.ToString());
   record.updated_at = kernel()->Now();
   ++record.update_count;
+  indexes_.Add(member, record.attributes);
   cells_.updates_applied->Add();
 }
 
@@ -82,7 +93,14 @@ void CollectionObject::JoinCollection(const Loid& joiner,
 void CollectionObject::LeaveCollection(const Loid& leaver,
                                        Callback<bool> done) {
   std::unique_lock lock(store_mutex_);
-  done(records_.erase(leaver) != 0);
+  auto it = records_.find(leaver);
+  if (it == records_.end()) {
+    done(false);
+    return;
+  }
+  indexes_.Remove(leaver, it->second.attributes);
+  records_.erase(it);
+  done(true);
 }
 
 void CollectionObject::UpdateCollectionEntry(const Loid& member,
@@ -108,9 +126,15 @@ void CollectionObject::UpdateEntryAs(const Loid& caller, const Loid& member,
 
 void CollectionObject::QueryCollection(const std::string& query_text,
                                        Callback<CollectionData> done) {
+  QueryCollection(query_text, QueryOptions{}, std::move(done));
+}
+
+void CollectionObject::QueryCollection(const std::string& query_text,
+                                       const QueryOptions& options,
+                                       Callback<CollectionData> done) {
   // Staleness the caller is about to act on (simulated age of records).
   cells_.staleness_ms->Observe(MeanRecordAge().millis());
-  auto result = QueryLocal(query_text);
+  auto result = QueryLocal(query_text, options);
   if (!result) {
     done(result.status());
     return;
@@ -119,10 +143,12 @@ void CollectionObject::QueryCollection(const std::string& query_text,
 }
 
 Result<CollectionData> CollectionObject::QueryLocal(
-    const std::string& query_text) const {
-  auto compiled = query::CompiledQuery::Compile(query_text);
+    const std::string& query_text, const QueryOptions& options) const {
+  bool hit = false;
+  auto compiled = compile_cache_.Get(query_text, &hit);
+  (hit ? cells_.compile_cache_hits : cells_.compile_cache_misses)->Add();
   if (!compiled) return compiled.status();
-  return QueryLocal(*compiled);
+  return Execute(*compiled, options);
 }
 
 void CollectionObject::MaterializeDerived(CollectionRecord& record) const {
@@ -132,35 +158,148 @@ void CollectionObject::MaterializeDerived(CollectionRecord& record) const {
   });
 }
 
-Result<CollectionData> CollectionObject::QueryLocal(
-    const query::CompiledQuery& query) const {
+CollectionData CollectionObject::EmitResults(
+    std::vector<const CollectionRecord*>& matched,
+    const QueryOptions& options) const {
+  if (!options.order_by.empty()) {
+    // Rank by the stored attribute: numeric keys first (ascending or
+    // descending), then records without one, both tiers member-ordered
+    // so the result order is total and deterministic.
+    struct Keyed {
+      int missing;
+      double key;
+      const CollectionRecord* record;
+    };
+    std::vector<Keyed> keyed;
+    keyed.reserve(matched.size());
+    for (const CollectionRecord* record : matched) {
+      const AttrValue* value = record->attributes.Get(options.order_by);
+      const bool numeric = value != nullptr && value->is_numeric() &&
+                           !std::isnan(value->as_double());
+      keyed.push_back(Keyed{numeric ? 0 : 1,
+                            numeric ? value->as_double() : 0.0, record});
+    }
+    const bool descending = options.descending;
+    auto before = [descending](const Keyed& a, const Keyed& b) {
+      if (a.missing != b.missing) return a.missing < b.missing;
+      if (a.key != b.key) return descending ? a.key > b.key : a.key < b.key;
+      return a.record->member < b.record->member;
+    };
+    if (options.max_results != 0 && options.max_results < keyed.size()) {
+      // Top-k selection: never fully sort a thousand matches to hand the
+      // scheduler its ten best.
+      std::partial_sort(keyed.begin(), keyed.begin() + options.max_results,
+                        keyed.end(), before);
+      keyed.resize(options.max_results);
+    } else {
+      std::sort(keyed.begin(), keyed.end(), before);
+    }
+    matched.clear();
+    for (const Keyed& k : keyed) matched.push_back(k.record);
+  } else if (options.max_results != 0 && options.max_results < matched.size()) {
+    matched.resize(options.max_results);
+  }
+
+  CollectionData out;
+  out.reserve(matched.size());
+  for (const CollectionRecord* record : matched) {
+    out.push_back(*record);
+    MaterializeDerived(out.back());
+  }
+  return out;
+}
+
+Result<CollectionData> CollectionObject::Execute(
+    const query::CompiledQuery& query, const QueryOptions& options) const {
   cells_.queries_served->Add();
   const std::int64_t wall_start = WallMicros();
-  CollectionData matches;
   std::shared_lock lock(store_mutex_);
-  for (const auto& [member, record] : records_) {
-    if (query.Matches(record.attributes, &functions_)) {
-      matches.push_back(record);
-      MaterializeDerived(matches.back());
+
+  std::vector<const CollectionRecord*> matched;
+  bool used_index = false;
+  const query::IndexPlan* plan = query.plan();
+  if (plan != nullptr && !options.force_scan && !records_.empty()) {
+    // An index path that would visit most of the store gathers and sorts
+    // more than the scan it replaces; gate on a capped estimate.
+    const std::size_t limit = records_.size() - records_.size() / 4;
+    if (indexes_.Estimate(*plan, limit) <= limit) {
+      used_index = true;
+      AttributeIndexes::Candidates candidates = indexes_.Eval(*plan);
+      matched.reserve(candidates.members.size());
+      // Candidates come member-ordered, so in the default order the
+      // query can stop at max_results matches -- true early termination.
+      const bool member_order = options.order_by.empty();
+      for (const Loid& member : candidates.members) {
+        auto it = records_.find(member);
+        if (it == records_.end()) continue;
+        if (candidates.exact ||
+            query.Matches(it->second.attributes, &functions_)) {
+          matched.push_back(&it->second);
+          if (member_order && options.max_results != 0 &&
+              matched.size() == options.max_results) {
+            break;
+          }
+        }
+      }
     }
   }
-  // Deterministic output order regardless of hash-map iteration.
-  std::sort(matches.begin(), matches.end(),
-            [](const CollectionRecord& a, const CollectionRecord& b) {
-              return a.member < b.member;
-            });
+  if (used_index) {
+    cells_.index_hits->Add();
+  } else {
+    cells_.planner_fallbacks->Add();
+    matched.reserve(records_.size() / 4);
+    for (const auto& [member, record] : records_) {
+      if (query.Matches(record.attributes, &functions_)) {
+        matched.push_back(&record);
+      }
+    }
+    // Deterministic output order regardless of hash-map iteration.
+    std::sort(matched.begin(), matched.end(),
+              [](const CollectionRecord* a, const CollectionRecord* b) {
+                return a->member < b->member;
+              });
+  }
+
+  CollectionData out = EmitResults(matched, options);
   cells_.query_wall_us->Observe(
       static_cast<double>(WallMicros() - wall_start));
-  return matches;
+  return out;
+}
+
+Result<CollectionData> CollectionObject::QueryLocal(
+    const query::CompiledQuery& query, const QueryOptions& options) const {
+  return Execute(query, options);
 }
 
 Result<CollectionData> CollectionObject::QueryLocalParallel(
-    const query::CompiledQuery& query, unsigned threads) const {
-  cells_.queries_served->Add();
-  const std::int64_t wall_start = WallMicros();
+    const query::CompiledQuery& query, unsigned threads,
+    const QueryOptions& options) const {
   if (threads == 0) threads = options_.query_threads;
   if (threads == 0) threads = std::thread::hardware_concurrency();
   if (threads == 0) threads = 1;
+  // More workers than cores only adds scheduling overhead (E4b measures
+  // pure slowdown on a single-core box); force_scan keeps the requested
+  // fan-out so the ablation can time it anyway.
+  if (!options.force_scan) {
+    threads = std::min(threads,
+                       std::max(1u, std::thread::hardware_concurrency()));
+  }
+
+  // Fan-out pays for itself only on big non-sargable scans: indexed
+  // queries are already sub-linear, and below the threshold the whole
+  // scan costs less than starting threads (bench_collection measures
+  // the crossover).  force_scan suppresses the heuristic so the
+  // ablation can time the raw fan-out at any size.
+  if (threads <= 1 ||
+      (!options.force_scan &&
+       (query.plan() != nullptr ||
+        record_count() < kParallelFanoutThreshold))) {
+    return Execute(query, options);
+  }
+
+  cells_.queries_served->Add();
+  cells_.planner_fallbacks->Add();
+  const std::int64_t wall_start = WallMicros();
 
   // Readers don't block readers: hold the shared lock for the whole
   // evaluation so writers stay out while workers scan the records.
@@ -169,25 +308,7 @@ Result<CollectionData> CollectionObject::QueryLocalParallel(
   snapshot.reserve(records_.size());
   for (const auto& [member, record] : records_) snapshot.push_back(&record);
 
-  if (snapshot.size() < 2 * threads) {
-    // Not worth fanning out.
-    CollectionData matches;
-    for (const auto* record : snapshot) {
-      if (query.Matches(record->attributes, &functions_)) {
-        matches.push_back(*record);
-        MaterializeDerived(matches.back());
-      }
-    }
-    std::sort(matches.begin(), matches.end(),
-              [](const CollectionRecord& a, const CollectionRecord& b) {
-                return a.member < b.member;
-              });
-    cells_.query_wall_us->Observe(
-        static_cast<double>(WallMicros() - wall_start));
-    return matches;
-  }
-
-  std::vector<CollectionData> partials(threads);
+  std::vector<std::vector<const CollectionRecord*>> partials(threads);
   {
     std::vector<std::jthread> workers;
     workers.reserve(threads);
@@ -198,26 +319,26 @@ Result<CollectionData> CollectionObject::QueryLocalParallel(
       workers.emplace_back([&, begin, end, t] {
         for (std::size_t i = begin; i < end; ++i) {
           if (query.Matches(snapshot[i]->attributes, &functions_)) {
-            partials[t].push_back(*snapshot[i]);
-            MaterializeDerived(partials[t].back());
+            partials[t].push_back(snapshot[i]);
           }
         }
       });
     }
   }  // jthreads join here
 
-  CollectionData matches;
-  for (auto& partial : partials) {
-    matches.insert(matches.end(), std::make_move_iterator(partial.begin()),
-                   std::make_move_iterator(partial.end()));
+  std::vector<const CollectionRecord*> matched;
+  for (const auto& partial : partials) {
+    matched.insert(matched.end(), partial.begin(), partial.end());
   }
-  std::sort(matches.begin(), matches.end(),
-            [](const CollectionRecord& a, const CollectionRecord& b) {
-              return a.member < b.member;
+  std::sort(matched.begin(), matched.end(),
+            [](const CollectionRecord* a, const CollectionRecord* b) {
+              return a->member < b->member;
             });
+
+  CollectionData out = EmitResults(matched, options);
   cells_.query_wall_us->Observe(
       static_cast<double>(WallMicros() - wall_start));
-  return matches;
+  return out;
 }
 
 void CollectionObject::PullFrom(const std::vector<Loid>& members,

@@ -15,9 +15,17 @@
 // computes new description information at query time (exposed through the
 // query language's call syntax and the FunctionRegistry).
 //
+// Query execution (DESIGN.md "The query execution layer"): attribute
+// indexes maintained incrementally on join/update/leave answer sargable
+// queries in sub-linear time through the planner's index plans; string
+// entry points resolve through a compiled-query LRU cache; and callers
+// that only consume a bounded prefix (every scheduler) pass QueryOptions
+// with an ordering hint and max_results so the Collection never
+// materializes thousands of records for a ten-host placement.
+//
 // The record store is internally synchronized (a shared_mutex guarding
-// the map, per the mutex-with-its-data rule), because the parallel query
-// path evaluates a compiled query across worker threads.
+// the map and its indexes, per the mutex-with-its-data rule), because the
+// parallel query path evaluates a compiled query across worker threads.
 #pragma once
 
 #include <cstdint>
@@ -28,8 +36,10 @@
 #include <unordered_set>
 #include <vector>
 
+#include "core/collection_index.h"
 #include "objects/interfaces.h"
 #include "objects/legion_object.h"
+#include "query/compile_cache.h"
 #include "query/query.h"
 
 namespace legion {
@@ -43,6 +53,26 @@ struct CollectionRecord {
 };
 
 using CollectionData = std::vector<CollectionRecord>;
+
+// Per-query execution options.  Defaults reproduce the classic
+// semantics: every match, ordered by member LOID.
+struct QueryOptions {
+  // Keep only the first `max_results` records of the result order
+  // (0 = unlimited).  Schedulers placing k instances pass a bounded
+  // candidate pool instead of materializing every match.
+  std::size_t max_results = 0;
+  // Order results by this stored numeric attribute instead of by member
+  // LOID (ties and records without a numeric value sort last, by
+  // member, so the order stays total and deterministic).  Empty = member
+  // order.  Derived (injected-function) attributes are not orderable:
+  // they materialize after pruning.
+  std::string order_by;
+  bool descending = false;
+  // Bypass the index path and evaluate by full scan.  For the
+  // scan-vs-index ablation and the planner-equivalence tests; results
+  // are identical by contract.
+  bool force_scan = false;
+};
 
 struct CollectionOptions {
   // Require updaters to be the member itself or a registered trusted
@@ -69,6 +99,9 @@ class CollectionObject : public LegionObject, public CollectionSink {
   // int QueryCollection(String Query, &CollectionData result);
   void QueryCollection(const std::string& query_text,
                        Callback<CollectionData> done);
+  void QueryCollection(const std::string& query_text,
+                       const QueryOptions& options,
+                       Callback<CollectionData> done);
   // int UpdateCollectionEntry(LOID member, LinkedList<Uval> ObjAttribute);
   void UpdateCollectionEntry(const Loid& member,
                              const AttributeDatabase& attributes,
@@ -84,13 +117,27 @@ class CollectionObject : public LegionObject, public CollectionSink {
   void PullFrom(const std::vector<Loid>& members, Callback<std::size_t> done);
 
   // ---- Local (in-process) query paths ---------------------------------------
-  // Synchronous evaluation against the current store.
-  Result<CollectionData> QueryLocal(const std::string& query_text) const;
-  Result<CollectionData> QueryLocal(const query::CompiledQuery& query) const;
-  // Shards the record set across worker threads; profitable for large
-  // collections (see bench_collection).
+  // Synchronous evaluation against the current store.  The string form
+  // resolves through the compiled-query cache.
+  Result<CollectionData> QueryLocal(const std::string& query_text,
+                                    const QueryOptions& options = {}) const;
+  Result<CollectionData> QueryLocal(const query::CompiledQuery& query,
+                                    const QueryOptions& options = {}) const;
+  // Shards the record set across worker threads.  Profitable only for
+  // large stores on non-sargable queries; indexed or small queries
+  // delegate to the serial path (see kParallelFanoutThreshold).
   Result<CollectionData> QueryLocalParallel(const query::CompiledQuery& query,
-                                            unsigned threads = 0) const;
+                                            unsigned threads = 0,
+                                            const QueryOptions& options = {}) const;
+
+  // Record count below which QueryLocalParallel stays serial: starting
+  // and joining workers costs on the order of the whole scan for a few
+  // thousand records (bench_collection's E4b table measures the
+  // crossover; below this size the fan-out never recovers its startup
+  // cost even with idle cores).  Worker count is additionally clamped to
+  // the hardware concurrency -- on a single-core machine the serial scan
+  // always wins.
+  static constexpr std::size_t kParallelFanoutThreshold = 8192;
 
   // ---- Administration ---------------------------------------------------------
   void AddTrustedUpdater(const Loid& agent);
@@ -104,6 +151,17 @@ class CollectionObject : public LegionObject, public CollectionSink {
   std::uint64_t queries_served() const { return cells_.queries_served->value(); }
   std::uint64_t updates_applied() const { return cells_.updates_applied->value(); }
   std::uint64_t updates_rejected() const { return cells_.updates_rejected->value(); }
+  // Query-engine introspection (mirrored in the metrics registry).
+  std::uint64_t index_hits() const { return cells_.index_hits->value(); }
+  std::uint64_t planner_fallbacks() const {
+    return cells_.planner_fallbacks->value();
+  }
+  std::uint64_t compile_cache_hits() const {
+    return cells_.compile_cache_hits->value();
+  }
+  std::uint64_t compile_cache_misses() const {
+    return cells_.compile_cache_misses->value();
+  }
 
  private:
   bool Authorized(const Loid& caller, const Loid& member) const;
@@ -111,10 +169,17 @@ class CollectionObject : public LegionObject, public CollectionSink {
   // Function injection materialization: every registered zero-argument
   // function is evaluated against the record and "integrated with the
   // already existing description information" (paper 3.2) as a derived
-  // attribute named after the function.
+  // attribute named after the function.  Runs once per *emitted* record,
+  // after top-k pruning -- never per scanned candidate.
   void MaterializeDerived(CollectionRecord& record) const;
-  // Snapshot for query evaluation (records copied under shared lock).
-  std::vector<const CollectionRecord*> Snapshot() const;
+  // Applies ordering / top-k pruning to the matched records and copies
+  // the survivors out (materializing derived attributes).  `matched`
+  // must be sorted by member.  Caller holds the shared lock.
+  CollectionData EmitResults(std::vector<const CollectionRecord*>& matched,
+                             const QueryOptions& options) const;
+  // Shared tail of the serial query paths; caller holds no lock.
+  Result<CollectionData> Execute(const query::CompiledQuery& query,
+                                 const QueryOptions& options) const;
 
   // Registry cells ({component=collection}); atomic, so the parallel
   // query path reports through them safely.
@@ -122,6 +187,13 @@ class CollectionObject : public LegionObject, public CollectionSink {
     obs::Counter* queries_served;
     obs::Counter* updates_applied;
     obs::Counter* updates_rejected;
+    // Query-engine counters: queries answered from the attribute
+    // indexes, queries that fell back to the full scan, and
+    // compiled-query cache traffic on the string entry points.
+    obs::Counter* index_hits;
+    obs::Counter* planner_fallbacks;
+    obs::Counter* compile_cache_hits;
+    obs::Counter* compile_cache_misses;
     // Wall-clock evaluation cost of each local query (not simulated
     // time; feeds the perf trajectory, not determinism).
     obs::Histogram* query_wall_us;
@@ -131,10 +203,12 @@ class CollectionObject : public LegionObject, public CollectionSink {
   };
 
   CollectionOptions options_;
-  mutable std::shared_mutex store_mutex_;  // guards records_
+  mutable std::shared_mutex store_mutex_;  // guards records_ and indexes_
   std::unordered_map<Loid, CollectionRecord> records_;
+  AttributeIndexes indexes_;
   std::unordered_set<Loid> trusted_;
   query::FunctionRegistry functions_;
+  mutable query::CompileCache compile_cache_;
   Cells cells_;
 };
 

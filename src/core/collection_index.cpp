@@ -1,0 +1,243 @@
+#include "core/collection_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace legion {
+
+namespace {
+
+// Inserts into / erases from a keyed set map, dropping empty sets so
+// update churn cannot leave tombstone keys behind.
+template <typename Map, typename Key>
+void MapInsert(Map& map, const Key& key, const Loid& member) {
+  map[key].insert(member);
+}
+
+template <typename Map, typename Key>
+void MapErase(Map& map, const Key& key, const Loid& member) {
+  auto it = map.find(key);
+  if (it == map.end()) return;
+  it->second.erase(member);
+  if (it->second.empty()) map.erase(it);
+}
+
+}  // namespace
+
+void AttributeIndexes::Add(const Loid& member, const AttributeDatabase& attrs) {
+  for (const auto& [name, value] : attrs) {
+    if (value.is_null()) continue;
+    PerAttribute& index = attrs_[name];
+    index.present.insert(member);
+    if (value.is_string()) {
+      MapInsert(index.by_string, value.as_string(), member);
+    } else if (value.is_numeric()) {
+      const double key = value.as_double();
+      if (!std::isnan(key)) MapInsert(index.by_number, key, member);
+    } else if (value.is_bool()) {
+      index.by_bool[value.as_bool() ? 1 : 0].insert(member);
+    }
+    // Lists are reachable through the presence index only.
+  }
+}
+
+void AttributeIndexes::Remove(const Loid& member,
+                              const AttributeDatabase& attrs) {
+  for (const auto& [name, value] : attrs) {
+    if (value.is_null()) continue;
+    auto it = attrs_.find(name);
+    if (it == attrs_.end()) continue;
+    PerAttribute& index = it->second;
+    index.present.erase(member);
+    if (value.is_string()) {
+      MapErase(index.by_string, value.as_string(), member);
+    } else if (value.is_numeric()) {
+      const double key = value.as_double();
+      if (!std::isnan(key)) MapErase(index.by_number, key, member);
+    } else if (value.is_bool()) {
+      index.by_bool[value.as_bool() ? 1 : 0].erase(member);
+    }
+    if (index.present.empty() && index.by_string.empty() &&
+        index.by_number.empty() && index.by_bool[0].empty() &&
+        index.by_bool[1].empty()) {
+      attrs_.erase(it);
+    }
+  }
+}
+
+void AttributeIndexes::Clear() { attrs_.clear(); }
+
+void AttributeIndexes::PredicateInto(const query::SargablePredicate& pred,
+                                     std::vector<Loid>* out) const {
+  auto it = attrs_.find(pred.attr);
+  if (it == attrs_.end()) return;  // attribute never seen: no candidates
+  const PerAttribute& index = it->second;
+
+  switch (pred.op) {
+    case query::PredicateOp::kDefined:
+      out->insert(out->end(), index.present.begin(), index.present.end());
+      return;
+    case query::PredicateOp::kEq: {
+      if (pred.literal.is_string()) {
+        auto set = index.by_string.find(pred.literal.as_string());
+        if (set != index.by_string.end()) {
+          out->insert(out->end(), set->second.begin(), set->second.end());
+        }
+      } else if (pred.literal.is_bool()) {
+        const auto& set = index.by_bool[pred.literal.as_bool() ? 1 : 0];
+        out->insert(out->end(), set.begin(), set.end());
+      } else if (pred.literal.is_numeric()) {
+        auto [begin, end] =
+            index.by_number.equal_range(pred.literal.as_double());
+        for (auto key = begin; key != end; ++key) {
+          out->insert(out->end(), key->second.begin(), key->second.end());
+        }
+      }
+      return;
+    }
+    case query::PredicateOp::kLt:
+    case query::PredicateOp::kLe:
+    case query::PredicateOp::kGt:
+    case query::PredicateOp::kGe: {
+      // Inclusive at the boundary in both directions; the residual pass
+      // trims the edge (planner.h explains why this must stay a
+      // superset).
+      const double bound = pred.literal.as_double();
+      auto begin = index.by_number.begin();
+      auto end = index.by_number.end();
+      if (pred.op == query::PredicateOp::kLt ||
+          pred.op == query::PredicateOp::kLe) {
+        end = index.by_number.upper_bound(bound);
+      } else {
+        begin = index.by_number.lower_bound(bound);
+      }
+      for (auto key = begin; key != end; ++key) {
+        out->insert(out->end(), key->second.begin(), key->second.end());
+      }
+      return;
+    }
+  }
+}
+
+std::size_t AttributeIndexes::EstimatePredicate(
+    const query::SargablePredicate& pred, std::size_t cap) const {
+  auto it = attrs_.find(pred.attr);
+  if (it == attrs_.end()) return 0;
+  const PerAttribute& index = it->second;
+
+  switch (pred.op) {
+    case query::PredicateOp::kDefined:
+      return index.present.size();
+    case query::PredicateOp::kEq: {
+      if (pred.literal.is_string()) {
+        auto set = index.by_string.find(pred.literal.as_string());
+        return set == index.by_string.end() ? 0 : set->second.size();
+      }
+      if (pred.literal.is_bool()) {
+        return index.by_bool[pred.literal.as_bool() ? 1 : 0].size();
+      }
+      if (pred.literal.is_numeric()) {
+        auto [begin, end] =
+            index.by_number.equal_range(pred.literal.as_double());
+        std::size_t n = 0;
+        for (auto key = begin; key != end; ++key) n += key->second.size();
+        return n;
+      }
+      return 0;
+    }
+    default: {
+      // Ranges: walk the matching keys summing set sizes, but stop at
+      // the cap -- an unselective range is about to lose to the scan (or
+      // to a cheaper `and` sibling) anyway, so an exact count of a huge
+      // range is money down the drain.
+      const double bound = pred.literal.as_double();
+      auto begin = index.by_number.begin();
+      auto end = index.by_number.end();
+      if (pred.op == query::PredicateOp::kLt ||
+          pred.op == query::PredicateOp::kLe) {
+        end = index.by_number.upper_bound(bound);
+      } else {
+        begin = index.by_number.lower_bound(bound);
+      }
+      std::size_t n = 0;
+      for (auto key = begin; key != end && n <= cap; ++key) {
+        n += key->second.size();
+      }
+      return n;
+    }
+  }
+}
+
+std::size_t AttributeIndexes::Estimate(const query::IndexPlan& plan,
+                                       std::size_t cap) const {
+  switch (plan.kind) {
+    case query::IndexPlan::Kind::kPredicate:
+      return EstimatePredicate(plan.pred, cap);
+    case query::IndexPlan::Kind::kAnd: {
+      // The cap shrinks as better children turn up, so expensive range
+      // counts stop as soon as they lose.
+      std::size_t best = std::numeric_limits<std::size_t>::max();
+      for (const auto& child : plan.children) {
+        best = std::min(best, Estimate(child, std::min(cap, best)));
+      }
+      return best;
+    }
+    case query::IndexPlan::Kind::kOr: {
+      std::size_t total = 0;
+      for (const auto& child : plan.children) {
+        total += Estimate(child, cap);
+        if (total > cap) break;
+      }
+      return total;
+    }
+  }
+  return std::numeric_limits<std::size_t>::max();
+}
+
+void AttributeIndexes::EvalInto(const query::IndexPlan& plan,
+                                std::vector<Loid>* out) const {
+  switch (plan.kind) {
+    case query::IndexPlan::Kind::kPredicate:
+      PredicateInto(plan.pred, out);
+      return;
+    case query::IndexPlan::Kind::kAnd: {
+      // Matches are a subset of every conjunct's candidates, so prune
+      // through the cheapest child and let the residual pass check the
+      // rest -- intersecting the large siblings would cost more than it
+      // saves.
+      const query::IndexPlan* cheapest = nullptr;
+      std::size_t best = std::numeric_limits<std::size_t>::max();
+      for (const auto& child : plan.children) {
+        const std::size_t estimate = Estimate(child, std::min(
+            best, std::numeric_limits<std::size_t>::max() - 1));
+        if (estimate < best) {
+          best = estimate;
+          cheapest = &child;
+        }
+      }
+      if (cheapest != nullptr) EvalInto(*cheapest, out);
+      return;
+    }
+    case query::IndexPlan::Kind::kOr:
+      for (const auto& child : plan.children) EvalInto(child, out);
+      return;
+  }
+}
+
+AttributeIndexes::Candidates AttributeIndexes::Eval(
+    const query::IndexPlan& plan) const {
+  Candidates result;
+  result.exact = plan.exact;
+  EvalInto(plan, &result.members);
+  // Individual member sets come out LOID-sorted, but ranges and unions
+  // interleave sets; restore the canonical order (and drop duplicates a
+  // record can earn by matching several `or` branches).
+  std::sort(result.members.begin(), result.members.end());
+  result.members.erase(
+      std::unique(result.members.begin(), result.members.end()),
+      result.members.end());
+  return result;
+}
+
+}  // namespace legion

@@ -30,13 +30,20 @@ SchedulerObject::SchedulerObject(SimKernel* kernel, Loid loid,
 
 void SchedulerObject::QueryHosts(const std::string& query,
                                  Callback<CollectionData> done) {
+  QueryHosts(query, QueryOptions{}, std::move(done));
+}
+
+void SchedulerObject::QueryHosts(const std::string& query,
+                                 const QueryOptions& options,
+                                 Callback<CollectionData> done) {
   ++collection_lookups_;
   lookups_cell_->Add();
   CallOn<CollectionData, CollectionObject>(
       kernel(), loid(), collection_, kSmallMessage, kLargeMessage,
       kDefaultRpcTimeout,
-      [query](CollectionObject& collection, Callback<CollectionData> reply) {
-        collection.QueryCollection(query, std::move(reply));
+      [query, options](CollectionObject& collection,
+                       Callback<CollectionData> reply) {
+        collection.QueryCollection(query, options, std::move(reply));
       },
       std::move(done), "query_collection");
 }

@@ -70,8 +70,12 @@ class SchedulerObject : public LegionObject {
   std::uint64_t collection_lookups() const { return collection_lookups_; }
 
  protected:
-  // Queries the Collection over the network.
+  // Queries the Collection over the network.  The options form lets a
+  // policy bound its candidate pool (top-k pruning happens inside the
+  // Collection, before the reply is materialized).
   void QueryHosts(const std::string& query, Callback<CollectionData> done);
+  void QueryHosts(const std::string& query, const QueryOptions& options,
+                  Callback<CollectionData> done);
   // Steps 2-3 of figure 3: acquire application knowledge from the class.
   void GetImplementations(const Loid& class_loid,
                           Callback<std::vector<Implementation>> done);

@@ -35,9 +35,12 @@ void IrsScheduler::NextClass(const std::shared_ptr<GenState>& state) {
           return;
         }
         // One Collection lookup per class, reused across all n candidate
-        // mappings -- the "fewer lookups" improvement.
+        // mappings -- the "fewer lookups" improvement.  A bounded pool is
+        // plenty for random draws.
+        QueryOptions options;
+        options.max_results = 1024;
         QueryHosts(
-            HostMatchQuery(*implementations),
+            HostMatchQuery(*implementations), options,
             [this, state, instance_request](Result<CollectionData> hosts) {
               if (!hosts.ok()) {
                 state->done(hosts.status());

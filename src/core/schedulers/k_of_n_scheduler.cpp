@@ -27,8 +27,14 @@ void KOfNScheduler::ComputeSchedule(const PlacementRequest& request,
           done(implementations.status());
           return;
         }
+        // Only the n least-loaded hosts can make the equivalence class;
+        // ask the Collection for a load-ordered pool with slack for
+        // vault-less hosts the filter below discards.
+        QueryOptions options;
+        options.order_by = "host_load";
+        options.max_results = std::max<std::size_t>(64, 4 * n_);
         QueryHosts(
-            HostMatchQuery(*implementations),
+            HostMatchQuery(*implementations), options,
             [this, class_loid, k,
              done = std::move(done)](Result<CollectionData> hosts) mutable {
               if (!hosts.ok()) {

@@ -41,8 +41,12 @@ void RandomScheduler::NextClass(const std::shared_ptr<GenState>& state) {
           return;
         }
         // "query Collection for Hosts matching available implementations"
+        // Random sampling only needs a bounded candidate pool; cap the
+        // reply so a metacomputer-scale Collection is never copied whole.
+        QueryOptions options;
+        options.max_results = 1024;
         QueryHosts(
-            HostMatchQuery(*implementations),
+            HostMatchQuery(*implementations), options,
             [this, state, instance_request](Result<CollectionData> hosts) {
               if (!hosts.ok()) {
                 state->done(hosts.status());

@@ -103,8 +103,13 @@ void RankedScheduler::NextClass(const std::shared_ptr<GenState>& state) {
           state->done(implementations.status());
           return;
         }
+        // Bound the candidate pool, pre-ordered by the policy's score
+        // proxy so the cap keeps the most promising hosts.
+        QueryOptions options;
+        options.max_results = 1024;
+        options.order_by = OrderAttribute();
         QueryHosts(
-            HostMatchQuery(*implementations),
+            HostMatchQuery(*implementations), options,
             [this, state, instance_request,
              memory_mb](Result<CollectionData> hosts) {
               if (!hosts.ok()) {

@@ -34,6 +34,11 @@ class RankedScheduler : public SchedulerObject {
  protected:
   // Lower scores place first.  `record` is the host's Collection record.
   virtual double Score(const CollectionRecord& record) const = 0;
+  // The stored attribute the Collection should pre-order (ascending) and
+  // prune by before replying -- a cheap proxy for Score() so the bounded
+  // candidate pool keeps the hosts the policy actually wants.  Empty =
+  // member order (no useful proxy).
+  virtual std::string OrderAttribute() const { return ""; }
   // Feasibility beyond arch/OS matching; default demands available
   // memory for the class's per-instance footprint.
   virtual bool Feasible(const CollectionRecord& record,
@@ -58,6 +63,9 @@ class LoadAwareScheduler : public RankedScheduler {
 
  protected:
   double Score(const CollectionRecord& record) const override;
+  // forecast_load is derived (materializes after pruning), so the raw
+  // load is the orderable proxy either way.
+  std::string OrderAttribute() const override { return "host_load"; }
 
  private:
   bool use_forecast_;
@@ -72,6 +80,9 @@ class CostAwareScheduler : public RankedScheduler {
 
  protected:
   double Score(const CollectionRecord& record) const override;
+  std::string OrderAttribute() const override {
+    return "host_cost_per_cpu_second";
+  }
 };
 
 // Deterministic round-robin over the feasible hosts (a classic baseline:

@@ -30,8 +30,12 @@ void StencilScheduler::ComputeSchedule(const PlacementRequest& request,
           done(implementations.status());
           return;
         }
+        // Band sizing wants broad domain coverage, so keep member order
+        // (no score proxy) but still bound the pool.
+        QueryOptions options;
+        options.max_results = 4096;
         QueryHosts(
-            HostMatchQuery(*implementations),
+            HostMatchQuery(*implementations), options,
             [this, class_loid, cpu_fraction,
              done = std::move(done)](Result<CollectionData> hosts) mutable {
               if (!hosts.ok() || hosts->empty()) {

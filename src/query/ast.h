@@ -91,6 +91,7 @@ class NotExpr final : public Expr {
   std::string ToString() const override {
     return "not (" + operand_->ToString() + ")";
   }
+  const Expr& operand() const { return *operand_; }
 
  private:
   ExprPtr operand_;
@@ -103,6 +104,9 @@ class BoolExpr final : public Expr {
       : op_(op), lhs_(std::move(lhs)), rhs_(std::move(rhs)) {}
   Result<AttrValue> Eval(const EvalContext& ctx) const override;
   std::string ToString() const override;
+  Op op() const { return op_; }
+  const Expr& lhs() const { return *lhs_; }
+  const Expr& rhs() const { return *rhs_; }
 
  private:
   Op op_;
@@ -116,6 +120,9 @@ class CompareExpr final : public Expr {
       : op_(op), lhs_(std::move(lhs)), rhs_(std::move(rhs)) {}
   Result<AttrValue> Eval(const EvalContext& ctx) const override;
   std::string ToString() const override;
+  Op op() const { return op_; }
+  const Expr& lhs() const { return *lhs_; }
+  const Expr& rhs() const { return *rhs_; }
 
  private:
   Op op_;
@@ -148,6 +155,7 @@ class DefinedExpr final : public Expr {
     return AttrValue(v != nullptr && !v->is_null());
   }
   std::string ToString() const override { return "defined($" + name_ + ")"; }
+  const std::string& name() const { return name_; }
 
  private:
   std::string name_;

@@ -1,0 +1,32 @@
+#include "query/compile_cache.h"
+
+namespace legion::query {
+
+Result<CompiledQuery> CompileCache::Get(const std::string& text, bool* hit) {
+  {
+    std::lock_guard lock(mutex_);
+    auto it = entries_.find(text);
+    if (it != entries_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);
+      if (hit != nullptr) *hit = true;
+      return it->second->second;
+    }
+  }
+  // Compile outside the lock; parsing is pure.
+  auto compiled = CompiledQuery::Compile(text);
+  if (hit != nullptr) *hit = false;
+  if (!compiled) return compiled;
+
+  std::lock_guard lock(mutex_);
+  if (entries_.count(text) == 0) {
+    lru_.emplace_front(text, *compiled);
+    entries_[text] = lru_.begin();
+    if (entries_.size() > capacity_) {
+      entries_.erase(lru_.back().first);
+      lru_.pop_back();
+    }
+  }
+  return *compiled;
+}
+
+}  // namespace legion::query

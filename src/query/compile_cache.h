@@ -1,0 +1,51 @@
+// An LRU cache of compiled queries keyed by query text.
+//
+// The Collection's string entry points (QueryCollection and the network
+// path behind every scheduler round) historically re-ran
+// lexer+parser+planner on each call even though schedulers issue the
+// same handful of query strings forever.  A small LRU in front of
+// Compile() turns that into a hash lookup.  CompiledQuery is cheap to
+// copy (two shared_ptrs and the text), so Get() hands out copies.
+//
+// Thread-safe: the Collection's parallel query path may race string
+// queries from worker threads.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "base/result.h"
+#include "query/query.h"
+
+namespace legion::query {
+
+class CompileCache {
+ public:
+  explicit CompileCache(std::size_t capacity = 128)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  // Compile-through lookup.  On success `*hit` (when given) reports
+  // whether the query was served from cache.  Failed compiles are not
+  // cached: they are rare and the error message must stay fresh.
+  Result<CompiledQuery> Get(const std::string& text, bool* hit = nullptr);
+
+  std::size_t size() const {
+    std::lock_guard lock(mutex_);
+    return entries_.size();
+  }
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  using LruList = std::list<std::pair<std::string, CompiledQuery>>;
+
+  mutable std::mutex mutex_;
+  std::size_t capacity_;
+  LruList lru_;  // front = most recently used
+  std::unordered_map<std::string, LruList::iterator> entries_;
+};
+
+}  // namespace legion::query

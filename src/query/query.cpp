@@ -5,7 +5,11 @@ namespace legion::query {
 Result<CompiledQuery> CompiledQuery::Compile(const std::string& text) {
   auto expr = Parse(text);
   if (!expr) return expr.status();
-  return CompiledQuery(text, std::shared_ptr<const Expr>(std::move(*expr)));
+  std::shared_ptr<const Expr> root(std::move(*expr));
+  // Plan once at compile time; every evaluation (and every copy of this
+  // query) reuses the same immutable plan.
+  auto plan = PlanQuery(*root);
+  return CompiledQuery(text, std::move(root), std::move(plan));
 }
 
 bool CompiledQuery::Matches(const AttributeDatabase& record,

@@ -8,6 +8,7 @@
 #include "base/result.h"
 #include "query/ast.h"
 #include "query/parser.h"
+#include "query/planner.h"
 
 namespace legion::query {
 
@@ -26,12 +27,20 @@ class CompiledQuery {
   const std::string& text() const { return text_; }
   std::string Canonical() const { return expr_->ToString(); }
 
+  // The index plan extracted at compile time, or nullptr when nothing in
+  // the query is sargable (evaluators then scan).  See planner.h.
+  const IndexPlan* plan() const { return plan_.get(); }
+
  private:
-  CompiledQuery(std::string text, std::shared_ptr<const Expr> expr)
-      : text_(std::move(text)), expr_(std::move(expr)) {}
+  CompiledQuery(std::string text, std::shared_ptr<const Expr> expr,
+                std::shared_ptr<const IndexPlan> plan)
+      : text_(std::move(text)),
+        expr_(std::move(expr)),
+        plan_(std::move(plan)) {}
 
   std::string text_;
   std::shared_ptr<const Expr> expr_;
+  std::shared_ptr<const IndexPlan> plan_;
 };
 
 }  // namespace legion::query

@@ -1,0 +1,272 @@
+// Attribute indexes (collection_index.h): candidate soundness,
+// boundary handling, and the join/update/leave maintenance that keeps
+// them in lockstep with the Collection's record store.
+#include "core/collection_index.h"
+
+#include <gtest/gtest.h>
+
+#include "core/collection.h"
+#include "test_world.h"
+
+namespace legion {
+namespace {
+
+using testing::Await;
+using testing::TestWorld;
+
+Loid M(std::uint64_t serial) { return Loid(LoidSpace::kHost, 0, serial); }
+
+query::IndexPlan Pred(const std::string& attr, query::PredicateOp op,
+                      AttrValue literal = {}) {
+  query::IndexPlan plan;
+  plan.kind = query::IndexPlan::Kind::kPredicate;
+  plan.pred = query::SargablePredicate{attr, op, std::move(literal)};
+  return plan;
+}
+
+TEST(AttributeIndexesTest, EqualityLookup) {
+  AttributeIndexes indexes;
+  AttributeDatabase a;
+  a.Set("arch", "x86");
+  AttributeDatabase b;
+  b.Set("arch", "sparc");
+  indexes.Add(M(1), a);
+  indexes.Add(M(2), b);
+  indexes.Add(M(3), a);
+
+  auto result =
+      indexes.Eval(Pred("arch", query::PredicateOp::kEq, AttrValue("x86")));
+  EXPECT_EQ(result.members, (std::vector<Loid>{M(1), M(3)}));
+  auto miss =
+      indexes.Eval(Pred("arch", query::PredicateOp::kEq, AttrValue("vax")));
+  EXPECT_TRUE(miss.members.empty());
+}
+
+TEST(AttributeIndexesTest, RangeBoundariesAreInclusiveSupersets) {
+  // The candidate contract is superset-only: a strict `< 1.0` must still
+  // return the record at exactly 1.0 (the residual pass trims it).
+  AttributeIndexes indexes;
+  for (std::uint64_t i = 1; i <= 5; ++i) {
+    AttributeDatabase db;
+    db.Set("load", 0.5 * static_cast<double>(i));  // 0.5 .. 2.5
+    indexes.Add(M(i), db);
+  }
+  auto lt = indexes.Eval(Pred("load", query::PredicateOp::kLt, AttrValue(1.0)));
+  EXPECT_EQ(lt.members, (std::vector<Loid>{M(1), M(2)}));  // 0.5 and 1.0
+  EXPECT_FALSE(lt.exact);
+  auto gt = indexes.Eval(Pred("load", query::PredicateOp::kGt, AttrValue(2.0)));
+  EXPECT_EQ(gt.members, (std::vector<Loid>{M(4), M(5)}));  // 2.0 and 2.5
+}
+
+TEST(AttributeIndexesTest, IntAndDoubleShareTheNumericIndex) {
+  // CompareAttrValues compares across the int/double divide; so does the
+  // index, which keys everything as double.
+  AttributeIndexes indexes;
+  AttributeDatabase ints;
+  ints.Set("cpus", 4);
+  AttributeDatabase doubles;
+  doubles.Set("cpus", 4.0);
+  indexes.Add(M(1), ints);
+  indexes.Add(M(2), doubles);
+  auto result =
+      indexes.Eval(Pred("cpus", query::PredicateOp::kEq, AttrValue(4)));
+  EXPECT_EQ(result.members, (std::vector<Loid>{M(1), M(2)}));
+}
+
+TEST(AttributeIndexesTest, DefinedUsesPresence) {
+  AttributeIndexes indexes;
+  AttributeDatabase with;
+  with.Set("gpu", true);
+  AttributeDatabase with_null;
+  with_null.Set("gpu", AttrValue());  // null: not defined
+  indexes.Add(M(1), with);
+  indexes.Add(M(2), with_null);
+  auto result = indexes.Eval(Pred("gpu", query::PredicateOp::kDefined));
+  EXPECT_EQ(result.members, (std::vector<Loid>{M(1)}));
+  EXPECT_TRUE(
+      indexes.Eval(Pred("none", query::PredicateOp::kDefined)).members.empty());
+}
+
+TEST(AttributeIndexesTest, RemoveErasesEveryTrace) {
+  AttributeIndexes indexes;
+  AttributeDatabase db;
+  db.Set("arch", "x86");
+  db.Set("load", 0.5);
+  db.Set("up", true);
+  indexes.Add(M(1), db);
+  EXPECT_EQ(indexes.attribute_count(), 3u);
+  indexes.Remove(M(1), db);
+  EXPECT_EQ(indexes.attribute_count(), 0u);  // empty structures pruned
+}
+
+TEST(AttributeIndexesTest, OrUnionsAndDeduplicates) {
+  AttributeIndexes indexes;
+  AttributeDatabase db;
+  db.Set("arch", "x86");
+  db.Set("load", 0.1);
+  indexes.Add(M(1), db);
+  query::IndexPlan plan;
+  plan.kind = query::IndexPlan::Kind::kOr;
+  plan.children.push_back(
+      Pred("arch", query::PredicateOp::kEq, AttrValue("x86")));
+  plan.children.push_back(
+      Pred("load", query::PredicateOp::kLt, AttrValue(1.0)));
+  auto result = indexes.Eval(plan);
+  EXPECT_EQ(result.members, (std::vector<Loid>{M(1)}));  // once, not twice
+}
+
+TEST(AttributeIndexesTest, AndPrunesThroughCheapestChild) {
+  AttributeIndexes indexes;
+  for (std::uint64_t i = 1; i <= 100; ++i) {
+    AttributeDatabase db;
+    db.Set("arch", i == 7 ? "alpha" : "x86");
+    db.Set("load", 0.5);
+    indexes.Add(M(i), db);
+  }
+  query::IndexPlan plan;
+  plan.kind = query::IndexPlan::Kind::kAnd;
+  plan.children.push_back(
+      Pred("arch", query::PredicateOp::kEq, AttrValue("alpha")));
+  plan.children.push_back(
+      Pred("load", query::PredicateOp::kLe, AttrValue(1.0)));
+  auto result = indexes.Eval(plan);
+  // The arch child (1 candidate) wins over the load child (100).
+  EXPECT_EQ(result.members, (std::vector<Loid>{M(7)}));
+  EXPECT_LE(indexes.Estimate(plan, 1000), 1u);
+}
+
+TEST(AttributeIndexesTest, EstimateHonorsTheCap) {
+  AttributeIndexes indexes;
+  for (std::uint64_t i = 1; i <= 50; ++i) {
+    AttributeDatabase db;
+    db.Set("load", static_cast<double>(i));
+    indexes.Add(M(i), db);
+  }
+  const auto plan = Pred("load", query::PredicateOp::kLe, AttrValue(1e9));
+  EXPECT_EQ(indexes.Estimate(plan, 1000), 50u);
+  // Capped: stops counting shortly past the cap instead of walking all.
+  EXPECT_GT(indexes.Estimate(plan, 10), 10u);
+}
+
+// ---- Maintenance through the Collection ------------------------------------
+
+class CollectionIndexTest : public ::testing::Test {
+ protected:
+  AttributeDatabase HostRecord(const std::string& arch, double load) {
+    AttributeDatabase db;
+    db.Set("host_arch", arch);
+    db.Set("host_load", load);
+    return db;
+  }
+
+  TestWorld world_;
+};
+
+TEST_F(CollectionIndexTest, JoinUpdateLeaveKeepIndexConsistent) {
+  Await<bool> joined;
+  world_.collection->JoinCollection(M(1), HostRecord("x86", 0.9),
+                                    joined.Sink());
+  auto x86 = world_.collection->QueryLocal("$host_arch == \"x86\"");
+  ASSERT_EQ(x86->size(), 1u);
+  EXPECT_GE(world_.collection->index_hits(), 1u);
+
+  // Update flips the arch; the old index entry must be gone.
+  Await<bool> updated;
+  world_.collection->UpdateCollectionEntry(M(1), HostRecord("sparc", 0.1),
+                                           updated.Sink());
+  EXPECT_TRUE(world_.collection->QueryLocal("$host_arch == \"x86\"")->empty());
+  EXPECT_EQ(world_.collection->QueryLocal("$host_arch == \"sparc\"")->size(),
+            1u);
+
+  Await<bool> left;
+  world_.collection->LeaveCollection(M(1), left.Sink());
+  EXPECT_TRUE(
+      world_.collection->QueryLocal("$host_arch == \"sparc\"")->empty());
+}
+
+TEST_F(CollectionIndexTest, IndexAndScanCountersSplitTraffic) {
+  Await<bool> joined;
+  world_.collection->JoinCollection(M(1), HostRecord("x86", 0.5),
+                                    joined.Sink());
+  const auto hits = world_.collection->index_hits();
+  const auto fallbacks = world_.collection->planner_fallbacks();
+  (void)world_.collection->QueryLocal("$host_arch == \"x86\"");  // sargable
+  (void)world_.collection->QueryLocal("match($host_arch, \"x\")");  // not
+  QueryOptions force;
+  force.force_scan = true;
+  (void)world_.collection->QueryLocal("$host_arch == \"x86\"", force);
+  EXPECT_EQ(world_.collection->index_hits(), hits + 1);
+  EXPECT_EQ(world_.collection->planner_fallbacks(), fallbacks + 2);
+}
+
+TEST_F(CollectionIndexTest, CompileCacheCountsHitsAndMisses) {
+  Await<bool> joined;
+  world_.collection->JoinCollection(M(1), HostRecord("x86", 0.5),
+                                    joined.Sink());
+  const std::string text = "$host_load < 1.0";
+  (void)world_.collection->QueryLocal(text);
+  (void)world_.collection->QueryLocal(text);
+  (void)world_.collection->QueryLocal(text);
+  EXPECT_EQ(world_.collection->compile_cache_misses(), 1u);
+  EXPECT_EQ(world_.collection->compile_cache_hits(), 2u);
+}
+
+TEST_F(CollectionIndexTest, MaxResultsAndOrderByPrune) {
+  for (std::uint64_t i = 1; i <= 10; ++i) {
+    Await<bool> joined;
+    world_.collection->JoinCollection(
+        M(i), HostRecord("x86", 1.0 - 0.1 * static_cast<double>(i)),
+        joined.Sink());
+  }
+  QueryOptions top3;
+  top3.max_results = 3;
+  top3.order_by = "host_load";
+  auto result = world_.collection->QueryLocal("$host_arch == \"x86\"", top3);
+  ASSERT_EQ(result->size(), 3u);
+  // Least-loaded first: members 10, 9, 8 carry loads 0.0, 0.1, 0.2.
+  EXPECT_EQ((*result)[0].member, M(10));
+  EXPECT_EQ((*result)[1].member, M(9));
+  EXPECT_EQ((*result)[2].member, M(8));
+
+  QueryOptions worst;
+  worst.max_results = 1;
+  worst.order_by = "host_load";
+  worst.descending = true;
+  auto high = world_.collection->QueryLocal("$host_arch == \"x86\"", worst);
+  ASSERT_EQ(high->size(), 1u);
+  EXPECT_EQ((*high)[0].member, M(1));
+
+  QueryOptions member_order;
+  member_order.max_results = 2;
+  auto first_two =
+      world_.collection->QueryLocal("$host_arch == \"x86\"", member_order);
+  ASSERT_EQ(first_two->size(), 2u);
+  EXPECT_EQ((*first_two)[0].member, M(1));
+  EXPECT_EQ((*first_two)[1].member, M(2));
+}
+
+TEST_F(CollectionIndexTest, DerivedAttributesMaterializeOnEmittedOnly) {
+  // The injected function runs once per *emitted* record: with top-k
+  // pruning the pruned matches never pay for materialization.
+  int calls = 0;
+  world_.collection->functions().Register(
+      "expensive", [&calls](const AttributeDatabase&,
+                            const std::vector<AttrValue>&) -> AttrValue {
+        ++calls;
+        return AttrValue(1);
+      });
+  for (std::uint64_t i = 1; i <= 20; ++i) {
+    Await<bool> joined;
+    world_.collection->JoinCollection(M(i), HostRecord("x86", 0.5),
+                                      joined.Sink());
+  }
+  QueryOptions top2;
+  top2.max_results = 2;
+  auto result = world_.collection->QueryLocal("$host_arch == \"x86\"", top2);
+  ASSERT_EQ(result->size(), 2u);
+  EXPECT_EQ(calls, 2);
+  EXPECT_EQ((*result)[0].attributes.Get("expensive")->as_int(), 1);
+}
+
+}  // namespace
+}  // namespace legion
