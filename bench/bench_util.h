@@ -5,9 +5,11 @@
 #include <cctype>
 #include <cstdarg>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <type_traits>
 #include <vector>
 
@@ -15,6 +17,14 @@
 #include "workload/metacomputer.h"
 
 namespace legion::bench {
+
+// True when the caller asked for the reduced CI preset
+// (LEGION_BENCH_PRESET=smoke): fewer trials and sweep cells, same code
+// paths, so the smoke job finishes fast but still exercises everything.
+inline bool SmokePreset() {
+  const char* preset = std::getenv("LEGION_BENCH_PRESET");
+  return preset != nullptr && std::string_view(preset) == "smoke";
+}
 
 inline NetworkParams QuietNet() {
   NetworkParams params;

@@ -6,11 +6,29 @@
 # Usage: scripts/bench_snapshot.sh [build-dir]
 set -euo pipefail
 
+die() { echo "bench_snapshot.sh: $*" >&2; exit 1; }
+
+command -v cmake >/dev/null || die "cmake not found on PATH"
+
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 build="${1:-$repo/build}"
 
-cmake -B "$build" -S "$repo" >/dev/null
+if [[ -d "$build" && ! -f "$build/CMakeCache.txt" ]]; then
+  die "$build exists but is not a CMake build tree (no CMakeCache.txt)"
+fi
+
+generator_args=()
+if [[ -f "$build/CMakeCache.txt" ]]; then
+  generator="$(sed -n 's/^CMAKE_GENERATOR:INTERNAL=//p' "$build/CMakeCache.txt")"
+  [[ -n "$generator" ]] || die "cannot read CMAKE_GENERATOR from $build/CMakeCache.txt"
+  generator_args=(-G "$generator")
+fi
+
+cmake -B "$build" -S "$repo" "${generator_args[@]}" >/dev/null
 cmake --build "$build" -j "$(nproc)" --target bench_collection bench_throughput
+
+[[ -x "$build/bench/bench_collection" ]] || die "bench_collection did not build"
+[[ -x "$build/bench/bench_throughput" ]] || die "bench_throughput did not build"
 
 # The Table JSON mirror writes BENCH_<experiment>.json into the cwd.
 cd "$repo"

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Chaos sweep: builds bench_chaos, runs the deterministic fault sweep
+# (loss rate x partition schedule x retry policy), and verifies that two
+# same-seed runs produce byte-identical BENCH_chaos.json -- the
+# determinism guarantee the whole simulation rests on.
+# Usage: scripts/chaos_sweep.sh [build-dir]
+# Honors LEGION_BENCH_PRESET=smoke for the reduced CI sweep.
+set -euo pipefail
+
+die() { echo "chaos_sweep.sh: $*" >&2; exit 1; }
+
+command -v cmake >/dev/null || die "cmake not found on PATH"
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-$repo/build}"
+
+if [[ -d "$build" && ! -f "$build/CMakeCache.txt" ]]; then
+  die "$build exists but is not a CMake build tree (no CMakeCache.txt)"
+fi
+
+generator_args=()
+if [[ -f "$build/CMakeCache.txt" ]]; then
+  generator="$(sed -n 's/^CMAKE_GENERATOR:INTERNAL=//p' "$build/CMakeCache.txt")"
+  [[ -n "$generator" ]] || die "cannot read CMAKE_GENERATOR from $build/CMakeCache.txt"
+  generator_args=(-G "$generator")
+fi
+
+cmake -B "$build" -S "$repo" "${generator_args[@]}" >/dev/null
+cmake --build "$build" -j "$(nproc)" --target bench_chaos
+[[ -x "$build/bench/bench_chaos" ]] || die "bench_chaos did not build"
+
+cd "$repo"
+"$build/bench/bench_chaos"
+[[ -f BENCH_chaos.json ]] || die "bench_chaos did not write BENCH_chaos.json"
+
+# Determinism check: a second same-seed run must be byte-identical.
+first="$(mktemp)"
+trap 'rm -f "$first"' EXIT
+cp BENCH_chaos.json "$first"
+"$build/bench/bench_chaos" >/dev/null
+cmp -s BENCH_chaos.json "$first" ||
+  die "two same-seed sweep runs produced different BENCH_chaos.json"
+echo "chaos_sweep.sh: determinism check passed (two runs byte-identical)"

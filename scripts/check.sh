@@ -3,9 +3,30 @@
 # run the full test suite under it.  Usage: scripts/check.sh [build-dir]
 set -euo pipefail
 
+die() { echo "check.sh: $*" >&2; exit 1; }
+
+command -v cmake >/dev/null || die "cmake not found on PATH"
+command -v ctest >/dev/null || die "ctest not found on PATH"
+
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 build="${1:-$repo/build-sanitize}"
 
-cmake -B "$build" -S "$repo" -DLEGION_SANITIZE=address,undefined
+# Refuse a pre-existing directory that is not a CMake build tree: we are
+# about to configure into it and would clobber whatever lives there.
+if [[ -d "$build" && ! -f "$build/CMakeCache.txt" ]]; then
+  die "$build exists but is not a CMake build tree (no CMakeCache.txt)"
+fi
+
+# Reuse the generator an existing tree was configured with; a mismatch
+# makes `cmake -B` fail with a confusing error mid-CI.
+generator_args=()
+if [[ -f "$build/CMakeCache.txt" ]]; then
+  generator="$(sed -n 's/^CMAKE_GENERATOR:INTERNAL=//p' "$build/CMakeCache.txt")"
+  [[ -n "$generator" ]] || die "cannot read CMAKE_GENERATOR from $build/CMakeCache.txt"
+  generator_args=(-G "$generator")
+fi
+
+cmake -B "$build" -S "$repo" "${generator_args[@]}" \
+  -DLEGION_SANITIZE=address,undefined
 cmake --build "$build" -j "$(nproc)"
 ctest --test-dir "$build" --output-on-failure -j "$(nproc)"

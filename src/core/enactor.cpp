@@ -24,6 +24,9 @@ struct EnactorObject::Negotiation {
   // Mappings previously reserved-and-cancelled per index, for the thrash
   // metric.
   std::vector<std::vector<ObjectMapping>> cancelled_history;
+  // Transient failures of the *current* mapping per index; reset when a
+  // variant installs a new mapping there.
+  std::vector<int> attempts;
   std::size_t outstanding = 0;
   ErrorCode last_code = ErrorCode::kNoResources;
   std::string last_error;
@@ -34,7 +37,9 @@ EnactorObject::EnactorObject(SimKernel* kernel, Loid loid,
                              EnactorOptions options)
     : LegionObject(kernel, loid,
                    Loid(LoidSpace::kClass, loid.domain(), kServiceClassSerial)),
-      options_(options) {
+      options_(options),
+      health_(kernel, options.health),
+      rng_(kernel->network().params().seed ^ 0xE7AC70Full) {
   kernel->network().RegisterEndpoint(loid, loid.domain());
   (void)Activate(loid, Loid());
   mutable_attributes().Set("service", "enactor");
@@ -54,6 +59,11 @@ EnactorObject::EnactorObject(SimKernel* kernel, Loid loid,
   cells_.enactments = metrics.GetCounter("enactments", labels);
   cells_.enact_failures = metrics.GetCounter("enact_failures", labels);
   cells_.negotiation_rounds = metrics.GetCounter("negotiation_rounds", labels);
+  cells_.retries = metrics.GetCounter("retries", labels);
+  cells_.breaker_open = metrics.GetCounter("breaker_open", labels);
+  cells_.breaker_probes = metrics.GetCounter("breaker_probes", labels);
+  cells_.partial_recoveries =
+      metrics.GetCounter("partial_recoveries", labels);
 }
 
 const EnactorStats& EnactorObject::stats() const {
@@ -65,6 +75,10 @@ const EnactorStats& EnactorObject::stats() const {
   stats_view_.rereservations = cells_.rereservations->value();
   stats_view_.enactments = cells_.enactments->value();
   stats_view_.enact_failures = cells_.enact_failures->value();
+  stats_view_.retries = cells_.retries->value();
+  stats_view_.breaker_open = cells_.breaker_open->value();
+  stats_view_.breaker_probes = cells_.breaker_probes->value();
+  stats_view_.partial_recoveries = cells_.partial_recoveries->value();
   return stats_view_;
 }
 
@@ -78,6 +92,10 @@ void EnactorObject::ResetStats() {
   cells_.enactments->Reset();
   cells_.enact_failures->Reset();
   cells_.negotiation_rounds->Reset();
+  cells_.retries->Reset();
+  cells_.breaker_open->Reset();
+  cells_.breaker_probes->Reset();
+  cells_.partial_recoveries->Reset();
 }
 
 void EnactorObject::LookupDemand(const Loid& class_loid,
@@ -121,6 +139,7 @@ void EnactorObject::StartMaster(const std::shared_ptr<Negotiation>& n) {
   n->current = master.mappings;
   n->tokens.assign(master.mappings.size(), std::nullopt);
   n->cancelled_history.assign(master.mappings.size(), {});
+  n->attempts.assign(master.mappings.size(), 0);
   n->applied_variants.clear();
   n->next_variant = 0;
   RequestMissing(n);
@@ -143,9 +162,52 @@ void EnactorObject::RequestMissing(const std::shared_ptr<Negotiation>& n) {
   for (std::size_t index : missing) ReserveIndex(n, index);
 }
 
+Duration EnactorObject::BackoffDelay(int retry_number) {
+  const RetryPolicy& retry = options_.retry;
+  Duration delay = retry.base_delay;
+  for (int i = 1; i < retry_number && delay < retry.max_delay; ++i) {
+    delay = delay * retry.multiplier;
+  }
+  delay = std::min(delay, retry.max_delay);
+  if (retry.jitter_fraction > 0.0) {
+    delay = delay * rng_.Uniform(1.0 - retry.jitter_fraction,
+                                 1.0 + retry.jitter_fraction);
+  }
+  return std::max(delay, Duration::Micros(1));
+}
+
+// Fails one mapping without spending an RPC round trip (the target's
+// breaker is open).  Completion is deferred through the event queue so
+// the round's fan-out loop finishes before any round-complete logic runs,
+// exactly as with real replies.
+void EnactorObject::FailIndexFast(const std::shared_ptr<Negotiation>& n,
+                                  std::size_t index) {
+  cells_.breaker_open->Add();
+  if (kernel()->trace().enabled()) {
+    kernel()->trace().Instant(kernel()->Now(), "breaker_fastfail", "enactor",
+                              kernel()->trace().current(),
+                              {{"host", n->current[index].host.ToString()},
+                               {"index", std::to_string(index)}});
+  }
+  kernel()->ScheduleAfter(Duration::Zero(), [this, n, index] {
+    if (n->finished) return;
+    n->last_code = ErrorCode::kUnavailable;
+    n->last_error =
+        "breaker open for host " + n->current[index].host.ToString();
+    if (--n->outstanding == 0) OnRoundComplete(n);
+  });
+}
+
 void EnactorObject::ReserveIndex(const std::shared_ptr<Negotiation>& n,
                                  std::size_t index) {
   const ObjectMapping& mapping = n->current[index];
+  if (options_.use_health && !health_.Healthy(mapping.host)) {
+    FailIndexFast(n, index);
+    return;
+  }
+  if (options_.use_health && health_.IsProbe(mapping.host)) {
+    cells_.breaker_probes->Add();
+  }
   // Thrash metric: are we remaking a reservation we held and cancelled?
   const auto& history = n->cancelled_history[index];
   if (std::find(history.begin(), history.end(), mapping) != history.end()) {
@@ -177,13 +239,48 @@ void EnactorObject::ReserveIndex(const std::shared_ptr<Negotiation>& n,
       },
       [this, n, index](Result<ReservationToken> result) {
         if (n->finished) return;
+        const Loid target = n->current[index].host;
         if (result.ok()) {
+          if (options_.use_health) health_.RecordSuccess(target);
           cells_.reservations_granted->Add();
+          if (n->attempts[index] > 0) cells_.partial_recoveries->Add();
           n->tokens[index] = std::move(*result);
         } else {
+          const ErrorCode code = result.status().code();
+          // Unreachability is a health signal; refusals and capacity
+          // shortfalls are the host's prerogative, not sickness.
+          if (options_.use_health && (code == ErrorCode::kTimeout ||
+                                      code == ErrorCode::kUnavailable)) {
+            health_.RecordFailure(target);
+          }
           cells_.reservations_failed->Add();
-          n->last_code = result.status().code();
+          n->last_code = code;
           n->last_error = result.status().message();
+          // Transient failure: retry the same mapping in place, with
+          // bounded exponential backoff, instead of burning a variant.
+          // A target whose breaker just opened is not worth re-probing
+          // inside this negotiation -- fall through to the variants.
+          if (code == ErrorCode::kTimeout &&
+              n->attempts[index] + 1 < options_.retry.max_attempts &&
+              (!options_.use_health || health_.Healthy(target))) {
+            ++n->attempts[index];
+            cells_.retries->Add();
+            const Duration delay = BackoffDelay(n->attempts[index]);
+            if (kernel()->trace().enabled()) {
+              kernel()->trace().Instant(
+                  kernel()->Now(), "reserve_retry", "enactor",
+                  kernel()->trace().current(),
+                  {{"host", target.ToString()},
+                   {"index", std::to_string(index)},
+                   {"attempt", std::to_string(n->attempts[index] + 1)},
+                   {"delay", delay.ToString()}});
+            }
+            kernel()->ScheduleAfter(delay, [this, n, index] {
+              if (n->finished) return;
+              ReserveIndex(n, index);
+            });
+            return;  // the retry inherits this index's outstanding slot
+          }
         }
         if (kernel()->trace().enabled()) {
           kernel()->trace().Instant(
@@ -255,6 +352,7 @@ void EnactorObject::OnRoundComplete(const std::shared_ptr<Negotiation>& n) {
         // Cancel only the reservations the variant actually replaces.
         CancelHeld(n, index);
         n->current[index] = mapping;
+        n->attempts[index] = 0;  // new mapping, fresh retry budget
       }
     }
     n->next_variant = chosen.back() + 1;
@@ -271,6 +369,7 @@ void EnactorObject::OnRoundComplete(const std::shared_ptr<Negotiation>& n) {
   const std::size_t v = n->next_variant++;
   n->applied_variants.push_back(v);
   n->current = master.WithVariant(v);
+  n->attempts.assign(n->current.size(), 0);
   RequestMissing(n);
 }
 

@@ -32,11 +32,26 @@
 #include <memory>
 #include <set>
 
+#include "base/rng.h"
+#include "core/health.h"
 #include "core/schedule.h"
 #include "objects/interfaces.h"
 #include "objects/legion_object.h"
 
 namespace legion {
+
+// Per-mapping recovery of transient (kTimeout) reservation failures:
+// bounded retries with deterministic exponential backoff and jitter
+// drawn from the enactor's seeded RNG.  max_attempts counts the first
+// try, so 1 disables retries (the pre-resilience behavior).
+struct RetryPolicy {
+  int max_attempts = 3;
+  Duration base_delay = Duration::Millis(200);
+  double multiplier = 2.0;
+  Duration max_delay = Duration::Seconds(10);
+  // Each delay is scaled by a uniform factor in [1-j, 1+j].
+  double jitter_fraction = 0.25;
+};
 
 struct EnactorOptions {
   // Window parameters for the reservations the Enactor requests.
@@ -49,6 +64,16 @@ struct EnactorOptions {
   // any failure cancels every held reservation and the next variant is
   // tried as a whole schedule (naive baseline).
   bool use_variant_bitmaps = true;
+  // Transient-failure recovery within one negotiation.
+  RetryPolicy retry;
+  // Circuit breaker over reservation outcomes: when true the Enactor
+  // fails suspect targets fast (no RPC round trip) and probes them again
+  // after a cooldown; schedulers consult the same tracker to demote or
+  // skip suspect hosts in their candidate pools.
+  bool use_health = true;
+  // Breaker thresholds, consumed at construction.  To tune a live
+  // enactor, go through health().options() instead.
+  HealthOptions health;
 };
 
 // Negotiation statistics.  The registry cells (labels
@@ -67,6 +92,14 @@ struct EnactorStats {
   std::uint64_t rereservations = 0;
   std::uint64_t enactments = 0;
   std::uint64_t enact_failures = 0;
+  // Resilience metrics: reservation retries issued for transient
+  // failures, attempts short-circuited because the target's breaker was
+  // open, reservation RPCs sent as half-open probes, and mappings that
+  // recovered in place (granted after at least one transient failure).
+  std::uint64_t retries = 0;
+  std::uint64_t breaker_open = 0;
+  std::uint64_t breaker_probes = 0;
+  std::uint64_t partial_recoveries = 0;
 };
 
 class EnactorObject : public LegionObject {
@@ -92,12 +125,19 @@ class EnactorObject : public LegionObject {
   const EnactorStats& stats() const;
   void ResetStats();
 
+  // The shared host/domain health view.  Schedulers consult it when
+  // building candidate pools; constructed from options().health.
+  HealthTracker& health() { return health_; }
+  const HealthTracker& health() const { return health_; }
+
  private:
   struct Negotiation;
 
   void StartMaster(const std::shared_ptr<Negotiation>& n);
   void RequestMissing(const std::shared_ptr<Negotiation>& n);
   void ReserveIndex(const std::shared_ptr<Negotiation>& n, std::size_t index);
+  void FailIndexFast(const std::shared_ptr<Negotiation>& n, std::size_t index);
+  Duration BackoffDelay(int retry_number);
   void OnRoundComplete(const std::shared_ptr<Negotiation>& n);
   void AbandonMaster(const std::shared_ptr<Negotiation>& n);
   void Succeed(const std::shared_ptr<Negotiation>& n);
@@ -120,9 +160,15 @@ class EnactorObject : public LegionObject {
     obs::Counter* enactments;
     obs::Counter* enact_failures;
     obs::Counter* negotiation_rounds;
+    obs::Counter* retries;
+    obs::Counter* breaker_open;
+    obs::Counter* breaker_probes;
+    obs::Counter* partial_recoveries;
   };
 
   EnactorOptions options_;
+  HealthTracker health_;
+  Rng rng_;  // backoff jitter; seeded from the sim's network seed
   Cells cells_;
   mutable EnactorStats stats_view_;
 };

@@ -1,5 +1,6 @@
 #include "core/scheduler.h"
 
+#include <algorithm>
 #include <sstream>
 
 namespace legion {
@@ -26,6 +27,35 @@ SchedulerObject::SchedulerObject(SimKernel* kernel, Loid loid,
   runs_cell_ = kernel->metrics().GetCounter("scheduler_runs", labels);
   successes_cell_ = kernel->metrics().GetCounter("scheduler_successes", labels);
   lookups_cell_ = kernel->metrics().GetCounter("collection_lookups", labels);
+  suspects_skipped_cell_ =
+      kernel->metrics().GetCounter("suspects_skipped", labels);
+}
+
+const HealthTracker* SchedulerObject::health() const {
+  auto* enactor = dynamic_cast<EnactorObject*>(kernel()->FindActor(enactor_));
+  if (enactor == nullptr || !enactor->options().use_health) return nullptr;
+  return &enactor->health();
+}
+
+void SchedulerObject::FilterSuspects(CollectionData* hosts,
+                                     std::size_t min_keep) {
+  const HealthTracker* tracker = health();
+  if (tracker == nullptr || hosts->empty()) return;
+  std::size_t healthy = 0;
+  for (const CollectionRecord& record : *hosts) {
+    if (tracker->Healthy(record.member)) ++healthy;
+  }
+  // Nothing suspect, or too few healthy candidates to satisfy the
+  // policy: keep the pool intact (the Enactor's breaker will still fail
+  // suspects fast, and half-open targets need traffic to recover).
+  if (healthy == hosts->size() || healthy < min_keep) return;
+  const std::size_t skipped = hosts->size() - healthy;
+  hosts->erase(std::remove_if(hosts->begin(), hosts->end(),
+                              [tracker](const CollectionRecord& record) {
+                                return !tracker->Healthy(record.member);
+                              }),
+               hosts->end());
+  suspects_skipped_cell_->Add(skipped);
 }
 
 void SchedulerObject::QueryHosts(const std::string& query,

@@ -94,6 +94,17 @@ class SchedulerObject : public LegionObject {
   // runs exactly the binary the schedule chose.
   static std::string ImplementationFor(const CollectionRecord& record);
 
+  // The Enactor's health view (the breaker state schedulers share), or
+  // nullptr when the enactor is unreachable or health tracking is off.
+  const HealthTracker* health() const;
+
+  // Demotes suspect hosts from a candidate pool: records whose breaker
+  // (host or domain) is open are erased, unless doing so would leave
+  // fewer than min_keep candidates -- a degraded pool beats an empty
+  // one, and suspects must stay reachable for probes when nothing else
+  // is left.  Each erased record bumps the suspects_skipped counter.
+  void FilterSuspects(CollectionData* hosts, std::size_t min_keep = 1);
+
   Loid collection_loid() const { return collection_; }
   Loid enactor_loid() const { return enactor_; }
 
@@ -111,6 +122,7 @@ class SchedulerObject : public LegionObject {
   obs::Counter* runs_cell_ = nullptr;
   obs::Counter* successes_cell_ = nullptr;
   obs::Counter* lookups_cell_ = nullptr;
+  obs::Counter* suspects_skipped_cell_ = nullptr;
 };
 
 }  // namespace legion

@@ -53,6 +53,9 @@ void IrsScheduler::NextClass(const std::shared_ptr<GenState>& state) {
                         instance_request.class_loid.ToString()));
                 return;
               }
+              // Demote suspects before drawing: variant diversity is
+              // wasted on hosts whose breaker is already open.
+              FilterSuspects(&*hosts);
               // "for i := 1 to k: for l := 1 to n: pick (H, V) at random;
               //  append the target to the list for this instance"
               for (std::size_t i = 0; i < instance_request.count; ++i) {

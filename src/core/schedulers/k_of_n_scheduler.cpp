@@ -41,6 +41,10 @@ void KOfNScheduler::ComputeSchedule(const PlacementRequest& request,
                 done(hosts.status());
                 return;
               }
+              // Keep at least k candidates even if suspect: a short
+              // equivalence class would fail outright, while suspect
+              // spares may still probe back to health.
+              FilterSuspects(&*hosts, k);
               // Rank candidates least-loaded-first; the top n form the
               // equivalence class.
               struct Candidate {

@@ -59,6 +59,7 @@ void RandomScheduler::NextClass(const std::shared_ptr<GenState>& state) {
                         instance_request.class_loid.ToString()));
                 return;
               }
+              FilterSuspects(&*hosts);
               // "for i := 1 to k: pick a Host H at random; extract list of
               //  compatible vaults from H; randomly pick a compatible
               //  vault V; append the target (H, V) to the master schedule"

@@ -116,6 +116,7 @@ void RankedScheduler::NextClass(const std::shared_ptr<GenState>& state) {
                 state->done(hosts.status());
                 return;
               }
+              FilterSuspects(&*hosts);
               // Filter to feasible hosts with vaults, then rank by score.
               struct Ranked {
                 double score;

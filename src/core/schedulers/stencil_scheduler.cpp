@@ -43,6 +43,9 @@ void StencilScheduler::ComputeSchedule(const PlacementRequest& request,
                                    "no matching hosts"));
                 return;
               }
+              // A suspect domain would otherwise be handed a whole band
+              // of rows; demote its hosts before capacity sizing.
+              FilterSuspects(&*hosts);
               // Group usable hosts by administrative domain.
               struct HostSlot {
                 Loid host;

@@ -4,8 +4,11 @@
 // recovers rather than wedging.
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 #include "core/migration.h"
 #include "core/schedulers/irs_scheduler.h"
+#include "core/schedulers/random_scheduler.h"
 #include "test_world.h"
 
 namespace legion {
@@ -180,6 +183,197 @@ TEST_F(FailureTest, KilledInstanceVanishesFromItsClassPerspective) {
   EXPECT_EQ(world_.kernel.FindActor(*placed.Get()), nullptr);
   klass_->ForgetInstance(*placed.Get());
   EXPECT_TRUE(klass_->instances().empty());
+}
+
+// ---- Resilience layer (DESIGN.md §9) ----------------------------------------
+
+TEST_F(FailureTest, TransientTimeoutRecoveredWithinMaxAttempts) {
+  // Two domains, the target behind a 5-second partition.  The first
+  // reservation attempt times out; the deterministic backoff lands the
+  // retry after the partition heals, so the same mapping recovers in
+  // place -- no variant, no wholesale cancel.
+  TestWorld world(testing::TestWorldConfig{.hosts = 4, .domains = 2});
+  world.Populate();
+  ClassObject* klass = world.MakeClass("app");
+  EnactorOptions& opts = world.enactor->options();
+  opts.rpc_timeout = Duration::Seconds(2);
+  opts.retry.max_attempts = 3;
+  opts.retry.base_delay = Duration::Seconds(4);
+  opts.retry.jitter_fraction = 0.0;
+  world.kernel.network().AddPartition(
+      0, 1, world.kernel.Now(), world.kernel.Now() + Duration::Seconds(5));
+
+  ScheduleRequestList request;
+  MasterSchedule master;
+  ObjectMapping mapping;
+  mapping.class_loid = klass->loid();
+  mapping.host = world.hosts[1]->loid();  // domain 1, behind the partition
+  mapping.vault = world.vaults[1]->loid();
+  master.mappings.push_back(mapping);
+  request.masters.push_back(master);
+
+  Await<ScheduleFeedback> feedback;
+  world.enactor->MakeReservations(request, feedback.Sink());
+  world.Run();
+  ASSERT_TRUE(feedback.Ready());
+  ASSERT_TRUE(feedback.Get()->success);
+  EXPECT_EQ(feedback.Get()->reserved_mappings[0].host,
+            world.hosts[1]->loid());
+  EXPECT_GE(world.enactor->stats().retries, 1u);
+  EXPECT_GE(world.enactor->stats().partial_recoveries, 1u);
+}
+
+TEST_F(FailureTest, BreakerOpensAfterRepeatedTimeoutsAndSchedulerAvoidsHost) {
+  TestWorld world(testing::TestWorldConfig{.hosts = 4});
+  world.Populate();
+  ClassObject* klass = world.MakeClass("app");
+  EnactorOptions& opts = world.enactor->options();
+  opts.rpc_timeout = Duration::Seconds(2);
+  opts.retry.max_attempts = 1;  // isolate the breaker from the retry path
+  world.enactor->health().options().host_failure_threshold = 2;
+  // Long cooldown so the breaker stays kOpen (not half-open) across the
+  // scheduler rounds and the fail-fast check below.
+  world.enactor->health().options().host_cooldown = Duration::Minutes(30);
+  // Host 3 crashes, but its Collection record lingers: without health
+  // tracking every placement would keep negotiating with the corpse.
+  const Loid dead = world.hosts[3]->loid();
+  world.kernel.RemoveActor(dead);
+
+  ScheduleRequestList request;
+  MasterSchedule master;
+  ObjectMapping mapping;
+  mapping.class_loid = klass->loid();
+  mapping.host = dead;
+  mapping.vault = world.vaults[3]->loid();
+  master.mappings.push_back(mapping);
+  request.masters.push_back(master);
+  for (int round = 0; round < 2; ++round) {
+    Await<ScheduleFeedback> feedback;
+    world.enactor->MakeReservations(request, feedback.Sink());
+    world.kernel.RunFor(Duration::Seconds(5));
+    ASSERT_TRUE(feedback.Ready());
+    EXPECT_FALSE(feedback.Get()->success);
+  }
+  EXPECT_FALSE(world.enactor->health().Healthy(dead));
+  EXPECT_EQ(world.enactor->health().HostState(dead), BreakerState::kOpen);
+  EXPECT_TRUE(world.enactor->health().SuspectUntil(dead).has_value());
+
+  // The scheduler consults the same tracker: with three healthy hosts
+  // available, the suspect never enters a computed schedule.
+  auto* scheduler = world.kernel.AddActor<RandomScheduler>(
+      world.kernel.minter().Mint(LoidSpace::kService, 0),
+      world.collection->loid(), world.enactor->loid(), 7);
+  for (int round = 0; round < 5; ++round) {
+    Await<ScheduleRequestList> schedule;
+    scheduler->ComputeSchedule({{klass->loid(), 3}}, schedule.Sink());
+    world.kernel.RunFor(Duration::Seconds(5));
+    ASSERT_TRUE(schedule.Ready());
+    ASSERT_TRUE(schedule.Get().ok());
+    for (const ObjectMapping& m : schedule.Get()->masters[0].mappings) {
+      EXPECT_NE(m.host, dead);
+    }
+  }
+  // Further negotiations fail fast (no RPC round trip) while open.
+  const std::uint64_t failed_before =
+      world.enactor->stats().reservations_failed;
+  Await<ScheduleFeedback> fast;
+  world.enactor->MakeReservations(request, fast.Sink());
+  world.kernel.RunFor(Duration::Seconds(1));
+  ASSERT_TRUE(fast.Ready());
+  EXPECT_FALSE(fast.Get()->success);
+  EXPECT_GE(world.enactor->stats().breaker_open, 1u);
+  EXPECT_EQ(world.enactor->stats().reservations_failed, failed_before);
+}
+
+TEST_F(FailureTest, BreakerReProbeRestoresPartitionedHost) {
+  TestWorld world(testing::TestWorldConfig{.hosts = 4, .domains = 2});
+  world.Populate();
+  ClassObject* klass = world.MakeClass("app");
+  EnactorOptions& opts = world.enactor->options();
+  opts.rpc_timeout = Duration::Seconds(2);
+  opts.retry.max_attempts = 1;
+  world.enactor->health().options().host_failure_threshold = 2;
+  world.enactor->health().options().host_cooldown = Duration::Seconds(30);
+  const Loid target = world.hosts[1]->loid();  // domain 1
+  world.kernel.network().AddPartition(
+      0, 1, world.kernel.Now(), world.kernel.Now() + Duration::Seconds(60));
+
+  ScheduleRequestList request;
+  MasterSchedule master;
+  ObjectMapping mapping;
+  mapping.class_loid = klass->loid();
+  mapping.host = target;
+  mapping.vault = world.vaults[1]->loid();
+  master.mappings.push_back(mapping);
+  request.masters.push_back(master);
+  for (int round = 0; round < 2; ++round) {
+    Await<ScheduleFeedback> feedback;
+    world.enactor->MakeReservations(request, feedback.Sink());
+    world.kernel.RunFor(Duration::Seconds(5));
+    ASSERT_TRUE(feedback.Ready());
+    EXPECT_FALSE(feedback.Get()->success);
+  }
+  ASSERT_EQ(world.enactor->health().HostState(target), BreakerState::kOpen);
+
+  // Past the partition AND the cooldown, the breaker is half-open; the
+  // next reservation is the probe that closes it.
+  world.kernel.RunFor(Duration::Seconds(70));
+  ASSERT_EQ(world.enactor->health().HostState(target),
+            BreakerState::kHalfOpen);
+  EXPECT_TRUE(world.enactor->health().Healthy(target));
+  Await<ScheduleFeedback> probe;
+  world.enactor->MakeReservations(request, probe.Sink());
+  world.Run();
+  ASSERT_TRUE(probe.Ready());
+  EXPECT_TRUE(probe.Get()->success);
+  EXPECT_GE(world.enactor->stats().breaker_probes, 1u);
+  EXPECT_EQ(world.enactor->health().HostState(target), BreakerState::kClosed);
+}
+
+TEST_F(FailureTest, SameSeedChaosRunsAreDeterministic) {
+  // The chaos harness's core guarantee: an identical seeded world under
+  // loss + partition + retries produces identical outcomes and an
+  // identical metrics snapshot, run to run.
+  auto run_once = []() {
+    NetworkParams net;
+    net.inter_domain_loss = 0.1;
+    net.seed = 4242;
+    TestWorld world(
+        testing::TestWorldConfig{.hosts = 6, .domains = 2, .net = net});
+    world.kernel.network().AddPartition(
+        0, 1, world.kernel.Now() + Duration::Seconds(30),
+        world.kernel.Now() + Duration::Seconds(60));
+    world.Populate();
+    ClassObject* klass = world.MakeClass("app");
+    world.enactor->options().rpc_timeout = Duration::Seconds(2);
+    world.enactor->options().retry.max_attempts = 3;
+    auto* scheduler = world.kernel.AddActor<IrsScheduler>(
+        world.kernel.minter().Mint(LoidSpace::kService, 0),
+        world.collection->loid(), world.enactor->loid(), 4, 11);
+    std::string outcomes;
+    for (int round = 0; round < 4; ++round) {
+      scheduler->ScheduleAndEnact({{klass->loid(), 2}}, RunOptions{2, 2},
+                                  [&](Result<RunOutcome> outcome) {
+                                    outcomes +=
+                                        outcome.ok() && outcome->success
+                                            ? 'S'
+                                            : 'F';
+                                  });
+      world.kernel.RunFor(Duration::Seconds(30));
+    }
+    // Strip the one wall-clock metric (DESIGN.md §7): the Collection's
+    // query evaluation-cost histogram measures host time, not simulated
+    // time, so it legitimately varies run to run.
+    std::istringstream snapshot(world.kernel.metrics().SnapshotJson());
+    std::string filtered;
+    for (std::string line; std::getline(snapshot, line);) {
+      if (line.find("collection_query_wall_us") != std::string::npos) continue;
+      filtered += line;
+      filtered += '\n';
+    }
+    return outcomes + "\n" + filtered;
+  };
+  EXPECT_EQ(run_once(), run_once());
 }
 
 TEST_F(FailureTest, PartitionDuringPushHealsOnNextReassessment) {
