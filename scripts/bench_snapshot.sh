@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
-# Benchmark snapshot: builds (if needed) and runs the query-engine and
-# throughput harnesses, leaving their JSON mirrors next to the repo root
-# (BENCH_collection.json, BENCH_collection_parallel.json,
-# BENCH_throughput.json) for diffing across commits.
+# Benchmark snapshot: builds (if needed) and runs the query-engine,
+# throughput, and federation harnesses, leaving their JSON mirrors next
+# to the repo root (BENCH_collection.json, BENCH_collection_parallel.json,
+# BENCH_throughput.json, BENCH_federation.json) for diffing across
+# commits.
 # Usage: scripts/bench_snapshot.sh [build-dir]
 set -euo pipefail
 
@@ -25,14 +26,18 @@ if [[ -f "$build/CMakeCache.txt" ]]; then
 fi
 
 cmake -B "$build" -S "$repo" "${generator_args[@]}" >/dev/null
-cmake --build "$build" -j "$(nproc)" --target bench_collection bench_throughput
+cmake --build "$build" -j "$(nproc)" \
+  --target bench_collection bench_throughput bench_federation
 
 [[ -x "$build/bench/bench_collection" ]] || die "bench_collection did not build"
 [[ -x "$build/bench/bench_throughput" ]] || die "bench_throughput did not build"
+[[ -x "$build/bench/bench_federation" ]] || die "bench_federation did not build"
 
 # The Table JSON mirror writes BENCH_<experiment>.json into the cwd.
 cd "$repo"
 "$build/bench/bench_collection"
 "$build/bench/bench_throughput"
+"$build/bench/bench_federation"
 
-ls -l BENCH_collection.json BENCH_collection_parallel.json BENCH_throughput.json
+ls -l BENCH_collection.json BENCH_collection_parallel.json \
+  BENCH_throughput.json BENCH_federation.json

@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
-# Chaos sweep: builds bench_chaos, runs the deterministic fault sweep
-# (loss rate x partition schedule x retry policy), and verifies that two
-# same-seed runs produce byte-identical BENCH_chaos.json -- the
+# Chaos sweep: builds bench_chaos and bench_federation, runs the
+# deterministic fault sweeps (loss rate x partition schedule x retry
+# policy for the negotiation path; domains x push period x WAN loss for
+# the federated Collection hierarchy, whose loss cells drop delta-push
+# batches on the wire), and verifies that two same-seed runs produce
+# byte-identical BENCH_chaos.json / BENCH_federation.json -- the
 # determinism guarantee the whole simulation rests on.
 # Usage: scripts/chaos_sweep.sh [build-dir]
 # Honors LEGION_BENCH_PRESET=smoke for the reduced CI sweep.
@@ -26,18 +29,22 @@ if [[ -f "$build/CMakeCache.txt" ]]; then
 fi
 
 cmake -B "$build" -S "$repo" "${generator_args[@]}" >/dev/null
-cmake --build "$build" -j "$(nproc)" --target bench_chaos
+cmake --build "$build" -j "$(nproc)" --target bench_chaos bench_federation
 [[ -x "$build/bench/bench_chaos" ]] || die "bench_chaos did not build"
+[[ -x "$build/bench/bench_federation" ]] || die "bench_federation did not build"
 
 cd "$repo"
-"$build/bench/bench_chaos"
-[[ -f BENCH_chaos.json ]] || die "bench_chaos did not write BENCH_chaos.json"
+scratch="$(mktemp -d)"
+trap 'rm -rf "$scratch"' EXIT
 
 # Determinism check: a second same-seed run must be byte-identical.
-first="$(mktemp)"
-trap 'rm -f "$first"' EXIT
-cp BENCH_chaos.json "$first"
-"$build/bench/bench_chaos" >/dev/null
-cmp -s BENCH_chaos.json "$first" ||
-  die "two same-seed sweep runs produced different BENCH_chaos.json"
+for name in chaos federation; do
+  "$build/bench/bench_$name"
+  [[ -f "BENCH_$name.json" ]] ||
+    die "bench_$name did not write BENCH_$name.json"
+  cp "BENCH_$name.json" "$scratch/BENCH_$name.json"
+  "$build/bench/bench_$name" >/dev/null
+  cmp -s "BENCH_$name.json" "$scratch/BENCH_$name.json" ||
+    die "two same-seed sweep runs produced different BENCH_$name.json"
+done
 echo "chaos_sweep.sh: determinism check passed (two runs byte-identical)"

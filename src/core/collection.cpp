@@ -49,6 +49,10 @@ CollectionObject::CollectionObject(SimKernel* kernel, Loid loid,
   cells_.staleness_ms = metrics.GetHistogram(
       "collection_staleness_ms", labels,
       {1.0, 10.0, 100.0, 1e3, 5e3, 1e4, 3e4, 6e4, 3e5, 6e5, 3.6e6});
+  cells_.delta_pushes = metrics.GetCounter("delta_pushes", labels);
+  cells_.delta_records = metrics.GetCounter("delta_records", labels);
+  cells_.stale_answers = metrics.GetCounter("stale_answers", labels);
+  cells_.refresh_pulls = metrics.GetCounter("refresh_pulls", labels);
 }
 
 bool CollectionObject::Authorized(const Loid& caller,
@@ -74,6 +78,19 @@ void CollectionObject::Upsert(const Loid& member,
   ++record.update_count;
   indexes_.Add(member, record.attributes);
   cells_.updates_applied->Add();
+  JournalDelta(CollectionDelta::Kind::kUpsert, member, record.attributes);
+}
+
+void CollectionObject::JournalDelta(CollectionDelta::Kind kind,
+                                    const Loid& member,
+                                    const AttributeDatabase& attributes) {
+  if (!parent_.valid()) return;
+  CollectionDelta& delta = journal_[member];
+  delta.kind = kind;
+  delta.member = member;
+  delta.version = ++next_delta_version_;
+  delta.attributes =
+      kind == CollectionDelta::Kind::kUpsert ? attributes : AttributeDatabase{};
 }
 
 void CollectionObject::JoinCollection(const Loid& joiner, Callback<bool> done) {
@@ -100,6 +117,7 @@ void CollectionObject::LeaveCollection(const Loid& leaver,
   }
   indexes_.Remove(leaver, it->second.attributes);
   records_.erase(it);
+  JournalDelta(CollectionDelta::Kind::kLeave, leaver, AttributeDatabase{});
   done(true);
 }
 
@@ -134,12 +152,79 @@ void CollectionObject::QueryCollection(const std::string& query_text,
                                        Callback<CollectionData> done) {
   // Staleness the caller is about to act on (simulated age of records).
   cells_.staleness_ms->Observe(MeanRecordAge().millis());
+  if (!children_.empty() && options.max_staleness < Duration::Infinite()) {
+    RefreshThenAnswer(query_text, options, std::move(done));
+    return;
+  }
   auto result = QueryLocal(query_text, options);
   if (!result) {
     done(result.status());
     return;
   }
   done(std::move(*result));
+}
+
+void CollectionObject::RefreshThenAnswer(const std::string& query_text,
+                                         const QueryOptions& options,
+                                         Callback<CollectionData> done) {
+  const SimTime now = kernel()->Now();
+  std::vector<ChildState*> stale;
+  for (auto& [domain, child] : children_) {
+    if (options.domain_scope >= 0 &&
+        domain != static_cast<DomainId>(options.domain_scope)) {
+      continue;
+    }
+    if (now - child.last_delta_at > options.max_staleness) {
+      stale.push_back(&child);
+    }
+  }
+  auto answer = [this, query_text, options,
+                 done = std::move(done)](bool any_stale) {
+    if (any_stale) cells_.stale_answers->Add();
+    auto result = QueryLocal(query_text, options);
+    if (!result) {
+      done(result.status());
+      return;
+    }
+    done(std::move(*result));
+  };
+  if (stale.empty()) {
+    answer(false);
+    return;
+  }
+  cells_.refresh_pulls->Add(stale.size());
+  struct RefreshState {
+    std::size_t outstanding;
+    bool any_failed = false;
+    std::function<void(bool)> answer;
+  };
+  auto state = std::make_shared<RefreshState>();
+  state->outstanding = stale.size();
+  state->answer = std::move(answer);
+  for (ChildState* child : stale) {
+    const Loid sub = child->sub;
+    kernel()->AsyncCall<DeltaBatch>(
+        loid(), sub, kSmallMessage, kLargeMessage, Duration::Seconds(5),
+        [kernel = kernel(), sub](Callback<DeltaBatch> reply) {
+          auto* collection =
+              dynamic_cast<CollectionObject*>(kernel->FindActor(sub));
+          if (collection == nullptr) {
+            reply(Status::Error(ErrorCode::kUnavailable,
+                                "no such sub-Collection: " + sub.ToString()));
+            return;
+          }
+          reply(collection->PendingDeltas());
+        },
+        [this, state](Result<DeltaBatch> batch) {
+          if (batch.ok()) {
+            ApplyDeltaBatch(*batch, [](Result<std::uint64_t>) {});
+          } else {
+            state->any_failed = true;
+          }
+          if (--state->outstanding == 0) state->answer(state->any_failed);
+        },
+        "refresh_pull");
+  }
 }
 
 Result<CollectionData> CollectionObject::QueryLocal(
@@ -215,6 +300,8 @@ Result<CollectionData> CollectionObject::Execute(
   const std::int64_t wall_start = WallMicros();
   std::shared_lock lock(store_mutex_);
 
+  const bool scoped = options.domain_scope >= 0;
+  const auto scope = static_cast<DomainId>(scoped ? options.domain_scope : 0);
   std::vector<const CollectionRecord*> matched;
   bool used_index = false;
   const query::IndexPlan* plan = query.plan();
@@ -230,6 +317,7 @@ Result<CollectionData> CollectionObject::Execute(
       // query can stop at max_results matches -- true early termination.
       const bool member_order = options.order_by.empty();
       for (const Loid& member : candidates.members) {
+        if (scoped && member.domain() != scope) continue;
         auto it = records_.find(member);
         if (it == records_.end()) continue;
         if (candidates.exact ||
@@ -249,6 +337,7 @@ Result<CollectionData> CollectionObject::Execute(
     cells_.planner_fallbacks->Add();
     matched.reserve(records_.size() / 4);
     for (const auto& [member, record] : records_) {
+      if (scoped && member.domain() != scope) continue;
       if (query.Matches(record.attributes, &functions_)) {
         matched.push_back(&record);
       }
@@ -304,9 +393,14 @@ Result<CollectionData> CollectionObject::QueryLocalParallel(
   // Readers don't block readers: hold the shared lock for the whole
   // evaluation so writers stay out while workers scan the records.
   std::shared_lock lock(store_mutex_);
+  const bool scoped = options.domain_scope >= 0;
+  const auto scope = static_cast<DomainId>(scoped ? options.domain_scope : 0);
   std::vector<const CollectionRecord*> snapshot;
   snapshot.reserve(records_.size());
-  for (const auto& [member, record] : records_) snapshot.push_back(&record);
+  for (const auto& [member, record] : records_) {
+    if (scoped && member.domain() != scope) continue;
+    snapshot.push_back(&record);
+  }
 
   std::vector<std::vector<const CollectionRecord*>> partials(threads);
   {
@@ -378,6 +472,124 @@ void CollectionObject::PullFrom(const std::vector<Loid>& members,
         },
         "pull_attributes");
   }
+}
+
+// ---- Federation (DESIGN.md §10) ---------------------------------------------
+
+void CollectionObject::SetParent(const Loid& parent, Duration push_period) {
+  parent_ = parent;
+  push_period_ = push_period;
+  if (push_timer_ != 0) kernel()->CancelPeriodic(push_timer_);
+  push_timer_ =
+      kernel()->SchedulePeriodic(push_period, [this] { FlushDeltas(); });
+  // Records stored before the parent link predate the journal: snapshot
+  // them so the root converges without waiting for organic updates.
+  std::unique_lock lock(store_mutex_);
+  for (const auto& [member, record] : records_) {
+    JournalDelta(CollectionDelta::Kind::kUpsert, member, record.attributes);
+  }
+}
+
+void CollectionObject::AddChild(DomainId domain, const Loid& sub) {
+  children_[domain] = ChildState{sub, kernel()->Now()};
+}
+
+DeltaBatch CollectionObject::PendingDeltas() const {
+  DeltaBatch batch;
+  batch.source = loid();
+  batch.domain = loid().domain();
+  {
+    std::shared_lock lock(store_mutex_);
+    batch.deltas.reserve(journal_.size());
+    for (const auto& [member, delta] : journal_) {
+      batch.deltas.push_back(delta);
+    }
+  }
+  // Version order reflects the causal order of the coalesced changes.
+  std::sort(batch.deltas.begin(), batch.deltas.end(),
+            [](const CollectionDelta& a, const CollectionDelta& b) {
+              return a.version < b.version;
+            });
+  return batch;
+}
+
+void CollectionObject::FlushDeltas() {
+  if (!parent_.valid()) return;
+  DeltaBatch batch = PendingDeltas();
+  cells_.delta_pushes->Add();
+  cells_.delta_records->Add(batch.deltas.size());
+  // The push must resolve (deliver or time out) before the next period
+  // fires, or unacked journals would pile up in flight.
+  const Duration timeout = std::max(
+      Duration::Seconds(1), push_period_ - Duration::Millis(1));
+  const Loid parent = parent_;
+  // Hoisted: the invoke lambda moves `batch`, and argument evaluation
+  // order is unspecified.
+  const std::size_t batch_bytes = DeltaBatchBytes(batch);
+  kernel()->AsyncCall<std::uint64_t>(
+      loid(), parent, batch_bytes, kSmallMessage, timeout,
+      [kernel = kernel(), parent,
+       batch = std::move(batch)](Callback<std::uint64_t> reply) {
+        auto* root =
+            dynamic_cast<CollectionObject*>(kernel->FindActor(parent));
+        if (root == nullptr) {
+          reply(Status::Error(ErrorCode::kUnavailable,
+                              "no federation root: " + parent.ToString()));
+          return;
+        }
+        root->ApplyDeltaBatch(batch, std::move(reply));
+      },
+      [this](Result<std::uint64_t> acked) {
+        // Lost or refused pushes leave the journal intact: the whole
+        // backlog retransmits next period and the root's version check
+        // dedupes whatever had in fact arrived.
+        if (!acked.ok()) return;
+        std::unique_lock lock(store_mutex_);
+        for (auto it = journal_.begin(); it != journal_.end();) {
+          if (it->second.version <= *acked) {
+            it = journal_.erase(it);
+          } else {
+            ++it;
+          }
+        }
+      },
+      "delta_push");
+}
+
+void CollectionObject::ApplyDeltaBatch(const DeltaBatch& batch,
+                                       Callback<std::uint64_t> done) {
+  auto child = children_.find(batch.domain);
+  const bool enrolled =
+      child != children_.end() && child->second.sub == batch.source;
+  if (options_.authenticate && !enrolled) {
+    cells_.updates_rejected->Add();
+    done(Status::Error(ErrorCode::kRefused,
+                       batch.source.ToString() +
+                           " is not an enrolled sub-Collection"));
+    return;
+  }
+  if (enrolled) child->second.last_delta_at = kernel()->Now();
+  std::uint64_t high = 0;
+  for (const CollectionDelta& delta : batch.deltas) {
+    high = std::max(high, delta.version);
+    std::uint64_t& applied = applied_versions_[delta.member];
+    // Late or retransmitted delta: a newer change already applied.
+    if (delta.version <= applied) continue;
+    applied = delta.version;
+    if (delta.kind == CollectionDelta::Kind::kUpsert) {
+      Upsert(delta.member, delta.attributes);
+    } else {
+      std::unique_lock lock(store_mutex_);
+      auto it = records_.find(delta.member);
+      if (it != records_.end()) {
+        indexes_.Remove(delta.member, it->second.attributes);
+        records_.erase(it);
+        JournalDelta(CollectionDelta::Kind::kLeave, delta.member,
+                     AttributeDatabase{});
+      }
+    }
+  }
+  done(high);
 }
 
 void CollectionObject::AddTrustedUpdater(const Loid& agent) {

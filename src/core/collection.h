@@ -29,6 +29,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <mutex>
 #include <shared_mutex>
 #include <string>
@@ -36,11 +37,13 @@
 #include <unordered_set>
 #include <vector>
 
+#include "base/sim_time.h"
 #include "core/collection_index.h"
 #include "objects/interfaces.h"
 #include "objects/legion_object.h"
 #include "query/compile_cache.h"
 #include "query/query.h"
+#include "sim/network.h"
 
 namespace legion {
 
@@ -53,6 +56,36 @@ struct CollectionRecord {
 };
 
 using CollectionData = std::vector<CollectionRecord>;
+
+// One journaled membership change in a federated deployment (DESIGN.md
+// §10).  Versions are per-sub-Collection and monotonically increasing, so
+// the root reconciles late or reordered batches deterministically: a delta
+// applies iff its version exceeds the highest version the root has ever
+// applied for that member.
+struct CollectionDelta {
+  enum class Kind : std::uint8_t { kUpsert, kLeave };
+  Kind kind = Kind::kUpsert;
+  Loid member;
+  std::uint64_t version = 0;
+  // Post-update attribute snapshot (kUpsert only; empty for kLeave).
+  AttributeDatabase attributes;
+};
+
+// A push from a sub-Collection to its federation root: the journal
+// entries not yet acknowledged, version-ascending.  Empty batches act as
+// heartbeats that keep the root's per-domain staleness estimate fresh.
+struct DeltaBatch {
+  Loid source;  // the sub-Collection
+  DomainId domain = 0;
+  std::vector<CollectionDelta> deltas;
+};
+
+// Simulated wire size of a delta batch: a small header plus a
+// medium-message record payload per delta (an attribute set serializes
+// well within kMediumMessage).
+inline std::size_t DeltaBatchBytes(const DeltaBatch& batch) {
+  return kSmallMessage + batch.deltas.size() * kMediumMessage;
+}
 
 // Per-query execution options.  Defaults reproduce the classic
 // semantics: every match, ordered by member LOID.
@@ -72,6 +105,16 @@ struct QueryOptions {
   // scan-vs-index ablation and the planner-equivalence tests; results
   // are identical by contract.
   bool force_scan = false;
+  // Restrict matches to members homed in this network domain (-1 = no
+  // restriction).  A federated deployment routes domain-scoped queries
+  // straight to the owning sub-Collection; the filter applies on any
+  // Collection so flat and federated answers agree.
+  std::int64_t domain_scope = -1;
+  // Bounded staleness (QueryCollection on a federation root only): if the
+  // newest delta batch from an in-scope domain is older than this, the
+  // root pulls that sub's pending deltas before answering.  Infinite
+  // (the default) answers from whatever has already arrived.
+  Duration max_staleness = Duration::Infinite();
 };
 
 struct CollectionOptions {
@@ -139,6 +182,35 @@ class CollectionObject : public LegionObject, public CollectionSink {
   // always wins.
   static constexpr std::size_t kParallelFanoutThreshold = 8192;
 
+  // ---- Federation (DESIGN.md §10) -------------------------------------------
+  // Makes this Collection a sub-Collection feeding `parent`: every
+  // membership change is journaled and the journal is pushed as a
+  // versioned delta batch each `push_period` (empty batches act as
+  // heartbeats).  Unacknowledged entries stay journaled and retransmit
+  // next period; the root's version check makes retransmission idempotent.
+  // Records already stored are journaled as a full snapshot so the root
+  // converges without waiting for organic updates.
+  void SetParent(const Loid& parent, Duration push_period);
+  // Enrolls `sub` as the aggregating child for `domain` on this root.
+  // Batches from sources that are not enrolled children are refused when
+  // authentication is on (the figure-4 security step, federated).
+  void AddChild(DomainId domain, const Loid& sub);
+  // Applies a delta batch at the root; replies with the highest version
+  // seen in the batch so the sub can prune its journal.  At-least-once
+  // pushes plus the per-member version check give exactly-once effect.
+  void ApplyDeltaBatch(const DeltaBatch& batch, Callback<std::uint64_t> done);
+  // Snapshot of the unacknowledged journal (does not prune; the next
+  // acknowledged push does).  The root's refresh-pull target.
+  DeltaBatch PendingDeltas() const;
+
+  bool is_federation_root() const { return !children_.empty(); }
+  const Loid& federation_parent() const { return parent_; }
+
+  std::uint64_t delta_pushes() const { return cells_.delta_pushes->value(); }
+  std::uint64_t delta_records() const { return cells_.delta_records->value(); }
+  std::uint64_t stale_answers() const { return cells_.stale_answers->value(); }
+  std::uint64_t refresh_pulls() const { return cells_.refresh_pulls->value(); }
+
   // ---- Administration ---------------------------------------------------------
   void AddTrustedUpdater(const Loid& agent);
   query::FunctionRegistry& functions() { return functions_; }
@@ -166,6 +238,18 @@ class CollectionObject : public LegionObject, public CollectionSink {
  private:
   bool Authorized(const Loid& caller, const Loid& member) const;
   void Upsert(const Loid& member, const AttributeDatabase& attributes);
+  // Journals a membership change for the next delta push.  Caller holds
+  // the unique lock.
+  void JournalDelta(CollectionDelta::Kind kind, const Loid& member,
+                    const AttributeDatabase& attributes);
+  // Periodic push of the journal to the federation root.
+  void FlushDeltas();
+  // Bounded-staleness answer path: pulls pending deltas from every
+  // in-scope domain whose last batch is older than options.max_staleness,
+  // then answers the query.
+  void RefreshThenAnswer(const std::string& query_text,
+                         const QueryOptions& options,
+                         Callback<CollectionData> done);
   // Function injection materialization: every registered zero-argument
   // function is evaluated against the record and "integrated with the
   // already existing description information" (paper 3.2) as a derived
@@ -200,6 +284,14 @@ class CollectionObject : public LegionObject, public CollectionSink {
     // Mean record age observed at each network query -- the staleness
     // the schedulers actually acted on.
     obs::Histogram* staleness_ms;
+    // Federation counters: delta batches pushed (incl. heartbeats),
+    // delta records pushed (incl. retransmits), global answers served
+    // while an in-scope domain stayed stale after a failed refresh, and
+    // refresh pulls issued by the bounded-staleness path.
+    obs::Counter* delta_pushes;
+    obs::Counter* delta_records;
+    obs::Counter* stale_answers;
+    obs::Counter* refresh_pulls;
   };
 
   CollectionOptions options_;
@@ -210,6 +302,25 @@ class CollectionObject : public LegionObject, public CollectionSink {
   query::FunctionRegistry functions_;
   mutable query::CompileCache compile_cache_;
   Cells cells_;
+
+  // ---- Federation state -----------------------------------------------------
+  // Sub side.  The journal coalesces per member (latest change wins) and
+  // iterates in member order, so batches are deterministic; guarded by
+  // store_mutex_ alongside the records it shadows.
+  Loid parent_;
+  Duration push_period_ = Duration::Zero();
+  SimKernel::PeriodicId push_timer_ = 0;
+  std::uint64_t next_delta_version_ = 0;
+  std::map<Loid, CollectionDelta> journal_;
+  // Root side.  applied_versions_ keeps an entry per member ever seen --
+  // including departed ones -- so a late upsert with an older version
+  // cannot resurrect a record a newer leave removed.
+  struct ChildState {
+    Loid sub;
+    SimTime last_delta_at;
+  };
+  std::map<DomainId, ChildState> children_;
+  std::unordered_map<Loid, std::uint64_t> applied_versions_;
 };
 
 }  // namespace legion

@@ -14,6 +14,8 @@ MonitorObject::MonitorObject(SimKernel* kernel, Loid loid)
   mutable_attributes().Set("service", "monitor");
   events_cell_ = kernel->metrics().GetCounter("monitor_events",
                                               {{"component", "monitor"}});
+  suppressed_cell_ = kernel->metrics().GetCounter(
+      "monitor_events_suppressed", {{"component", "monitor"}});
 }
 
 void MonitorObject::WatchHost(HostObject* host, const std::string& event_name) {
@@ -56,7 +58,19 @@ void MonitorObject::OnEvent(const RgeEvent& event) {
     trace.Instant(kernel()->Now(), "monitor_event", "monitor", trace.current(),
                   {{"event", event.name}});
   }
-  if (handler_) handler_(event);
+  if (!handler_) return;
+  // Debounce per (source, event): a flapping guard re-fires the outcall on
+  // every threshold crossing, but a second reschedule request within the
+  // window would just chase the migration the first one started.
+  const SimTime now = kernel()->Now();
+  const auto key = std::make_pair(event.source, event.name);
+  auto it = last_dispatch_.find(key);
+  if (it != last_dispatch_.end() && now - it->second < min_interval_) {
+    suppressed_cell_->Add();
+    return;
+  }
+  last_dispatch_[key] = now;
+  handler_(event);
 }
 
 }  // namespace legion

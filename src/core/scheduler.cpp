@@ -60,7 +60,7 @@ void SchedulerObject::FilterSuspects(CollectionData* hosts,
 
 void SchedulerObject::QueryHosts(const std::string& query,
                                  Callback<CollectionData> done) {
-  QueryHosts(query, QueryOptions{}, std::move(done));
+  QueryHosts(query, ScopedOptions(), std::move(done));
 }
 
 void SchedulerObject::QueryHosts(const std::string& query,

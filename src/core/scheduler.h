@@ -69,6 +69,23 @@ class SchedulerObject : public LegionObject {
   // Number of QueryCollection calls issued (experiment E3's metric).
   std::uint64_t collection_lookups() const { return collection_lookups_; }
 
+  // ---- Federated routing (DESIGN.md §10) ------------------------------------
+  // Points the scheduler at a (possibly different) Collection and scopes
+  // every subsequent host query to `domain_scope` (-1 = global).  A
+  // domain-restricted policy passes the owning sub-Collection and its
+  // domain; a global policy passes the federation root.
+  void RouteQueries(const Loid& collection, std::int64_t domain_scope = -1) {
+    collection_ = collection;
+    domain_scope_ = domain_scope;
+  }
+  // Bounds the staleness this scheduler tolerates from a federation
+  // root: queries carry the bound, and the root refresh-pulls any domain
+  // whose deltas are older.  Infinite (default) accepts the aggregate
+  // as-is.
+  void SetMaxStaleness(Duration max_staleness) {
+    max_staleness_ = max_staleness;
+  }
+
  protected:
   // Queries the Collection over the network.  The options form lets a
   // policy bound its candidate pool (top-k pruning happens inside the
@@ -108,6 +125,15 @@ class SchedulerObject : public LegionObject {
   Loid collection_loid() const { return collection_; }
   Loid enactor_loid() const { return enactor_; }
 
+  // Seed for every policy's QueryOptions: carries the routing scope and
+  // staleness bound so all five schedulers inherit federated behavior.
+  QueryOptions ScopedOptions() const {
+    QueryOptions options;
+    options.domain_scope = domain_scope_;
+    options.max_staleness = max_staleness_;
+    return options;
+  }
+
  private:
   struct RunState;
   void RunScheduleAttempt(const std::shared_ptr<RunState>& state);
@@ -117,6 +143,8 @@ class SchedulerObject : public LegionObject {
   std::string name_;
   Loid collection_;
   Loid enactor_;
+  std::int64_t domain_scope_ = -1;
+  Duration max_staleness_ = Duration::Infinite();
   std::uint64_t collection_lookups_ = 0;
   // Registry cells ({component=scheduler, scheduler=<name>}).
   obs::Counter* runs_cell_ = nullptr;

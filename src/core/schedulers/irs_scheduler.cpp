@@ -37,7 +37,7 @@ void IrsScheduler::NextClass(const std::shared_ptr<GenState>& state) {
         // One Collection lookup per class, reused across all n candidate
         // mappings -- the "fewer lookups" improvement.  A bounded pool is
         // plenty for random draws.
-        QueryOptions options;
+        QueryOptions options = ScopedOptions();
         options.max_results = 1024;
         QueryHosts(
             HostMatchQuery(*implementations), options,

@@ -30,7 +30,7 @@ void KOfNScheduler::ComputeSchedule(const PlacementRequest& request,
         // Only the n least-loaded hosts can make the equivalence class;
         // ask the Collection for a load-ordered pool with slack for
         // vault-less hosts the filter below discards.
-        QueryOptions options;
+        QueryOptions options = ScopedOptions();
         options.order_by = "host_load";
         options.max_results = std::max<std::size_t>(64, 4 * n_);
         QueryHosts(

@@ -43,7 +43,7 @@ void RandomScheduler::NextClass(const std::shared_ptr<GenState>& state) {
         // "query Collection for Hosts matching available implementations"
         // Random sampling only needs a bounded candidate pool; cap the
         // reply so a metacomputer-scale Collection is never copied whole.
-        QueryOptions options;
+        QueryOptions options = ScopedOptions();
         options.max_results = 1024;
         QueryHosts(
             HostMatchQuery(*implementations), options,

@@ -105,7 +105,7 @@ void RankedScheduler::NextClass(const std::shared_ptr<GenState>& state) {
         }
         // Bound the candidate pool, pre-ordered by the policy's score
         // proxy so the cap keeps the most promising hosts.
-        QueryOptions options;
+        QueryOptions options = ScopedOptions();
         options.max_results = 1024;
         options.order_by = OrderAttribute();
         QueryHosts(

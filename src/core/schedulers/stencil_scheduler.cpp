@@ -32,7 +32,7 @@ void StencilScheduler::ComputeSchedule(const PlacementRequest& request,
         }
         // Band sizing wants broad domain coverage, so keep member order
         // (no score proxy) but still bound the pool.
-        QueryOptions options;
+        QueryOptions options = ScopedOptions();
         options.max_results = 4096;
         QueryHosts(
             HostMatchQuery(*implementations), options,

@@ -17,14 +17,18 @@ Result<CompiledQuery> CompileCache::Get(const std::string& text, bool* hit) {
   if (hit != nullptr) *hit = false;
   if (!compiled) return compiled;
 
+  if (capacity_ == 0) return *compiled;  // caching disabled
   std::lock_guard lock(mutex_);
   if (entries_.count(text) == 0) {
-    lru_.emplace_front(text, *compiled);
-    entries_[text] = lru_.begin();
-    if (entries_.size() > capacity_) {
+    // Evict the LRU entry *before* inserting: the cache never holds
+    // capacity_+1 entries, and a fresh entry can never be chosen as its
+    // own victim.
+    if (entries_.size() >= capacity_) {
       entries_.erase(lru_.back().first);
       lru_.pop_back();
     }
+    lru_.emplace_front(text, *compiled);
+    entries_[text] = lru_.begin();
   }
   return *compiled;
 }

@@ -25,8 +25,9 @@ namespace legion::query {
 
 class CompileCache {
  public:
-  explicit CompileCache(std::size_t capacity = 128)
-      : capacity_(capacity == 0 ? 1 : capacity) {}
+  // capacity 0 disables caching entirely: every Get() compiles, nothing
+  // is retained, size() stays 0.
+  explicit CompileCache(std::size_t capacity = 128) : capacity_(capacity) {}
 
   // Compile-through lookup.  On success `*hit` (when given) reports
   // whether the query was served from cache.  Failed compiles are not

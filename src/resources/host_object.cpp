@@ -96,7 +96,7 @@ void HostObject::CancelReservation(const ReservationToken& token,
     done(false);
     return;
   }
-  done(table_.Cancel(token));
+  done(table_.Cancel(token, kernel()->Now()));
 }
 
 // ---- Process management -----------------------------------------------------

@@ -33,6 +33,14 @@ Status ReservationTable::Admit(const ReservationToken& token,
     return Status::Error(ErrorCode::kInvalidArgument,
                          "non-positive reservation duration");
   }
+  // A window that has already closed (end <= now, the same half-open edge
+  // Check/Redeem/ExpireStale use) would be expired by the very next
+  // ExpireStale pass; refuse it up front instead of admitting a corpse.
+  if (token.start + token.duration <= now) {
+    ++rejected_;
+    return Status::Error(ErrorCode::kInvalidArgument,
+                         "reservation window already closed");
+  }
   if (memory_mb > capacity_.memory_mb) {
     ++rejected_;
     return Status::Error(ErrorCode::kNoResources, "memory demand > capacity");
@@ -99,7 +107,11 @@ bool ReservationTable::Check(const ReservationToken& token, SimTime now) {
   return now < record.token.start + record.token.duration;
 }
 
-bool ReservationTable::Cancel(const ReservationToken& token) {
+bool ReservationTable::Cancel(const ReservationToken& token, SimTime now) {
+  // Expire first so a reservation whose window edge coincides exactly with
+  // `now` is classified the same way every other entry point classifies it:
+  // dead, hence not cancellable.
+  ExpireStale(now);
   auto it = records_.find(token.serial);
   if (it == records_.end() || !Live(it->second)) return false;
   it->second.state = ReservationState::kCancelled;
@@ -128,11 +140,9 @@ Status ReservationTable::Redeem(const ReservationToken& token, SimTime now) {
   }
   // Early presentation (before the window opens) is allowed and counts as
   // confirmation; execution is the host's concern (it defers the launch).
-  if (now >= record.token.start + record.token.duration) {
-    record.state = ReservationState::kExpired;
-    ++expired_;
-    return Status::Error(ErrorCode::kExpired, "reservation window passed");
-  }
+  // A passed window cannot reach this point: ExpireStale(now) above already
+  // expired it, so the state switch returned kExpired.
+  //
   // The reuse bit: a one-shot token is good for exactly one StartObject.
   if (!record.token.type.reuse && record.uses >= 1) {
     return Status::Error(ErrorCode::kInvalidToken,

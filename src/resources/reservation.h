@@ -74,7 +74,11 @@ class ReservationTable {
   bool Check(const ReservationToken& token, SimTime now);
 
   // cancel_reservation(): returns false for unknown/already-dead tokens.
-  bool Cancel(const ReservationToken& token);
+  // Time-aware: a reservation whose window (or confirmation timeout) has
+  // already passed at `now` is expired, not cancellable -- the boundary
+  // instant now == start + duration classifies identically here and in
+  // Check/Redeem/ExpireStale.
+  bool Cancel(const ReservationToken& token, SimTime now);
 
   // Presents the token with a StartObject call (implicit confirmation).
   // Enforces the reuse bit: a one-shot token is consumed by its first use.

@@ -17,9 +17,18 @@ const std::vector<Platform>& KnownPlatforms() {
 Metacomputer::Metacomputer(SimKernel* kernel, MetacomputerConfig config)
     : kernel_(kernel), config_(config), rng_(config.seed) {
   // Core services live in domain 0.
-  collection_ = kernel_->AddActor<CollectionObject>(
-      kernel_->minter().Mint(LoidSpace::kService, 0));
-  kernel_->network().RegisterEndpoint(collection_->loid(), 0);
+  if (config_.federated) {
+    FederationOptions federation_options;
+    federation_options.push_period = config_.delta_push_period;
+    federation_ = std::make_unique<CollectionFederation>(
+        kernel_, static_cast<std::uint32_t>(config_.domains),
+        federation_options);
+    collection_ = federation_->root();
+  } else {
+    collection_ = kernel_->AddActor<CollectionObject>(
+        kernel_->minter().Mint(LoidSpace::kService, 0));
+    kernel_->network().RegisterEndpoint(collection_->loid(), 0);
+  }
   enactor_ = kernel_->AddActor<EnactorObject>(
       kernel_->minter().Mint(LoidSpace::kService, 0));
   monitor_ = kernel_->AddActor<MonitorObject>(
@@ -102,7 +111,12 @@ Metacomputer::Metacomputer(SimKernel* kernel, MetacomputerConfig config)
       for (VaultObject* vault : domain_vaults) {
         host->AddCompatibleVault(vault->loid());
       }
-      host->AddCollection(collection_->loid());
+      // Federated: hosts join their domain's sub-Collection over cheap
+      // intra-domain links; the sub's delta pushes carry the records to
+      // the root across the WAN.
+      host->AddCollection(config_.federated
+                              ? federation_->sub(domain)->loid()
+                              : collection_->loid());
       if (config_.start_reassessment) host->StartReassessment();
       hosts_.push_back(host);
     }
@@ -158,8 +172,14 @@ ClassObject* Metacomputer::MakeClass(
 
 void Metacomputer::PopulateCollection() {
   for (HostObject* host : hosts_) host->ReassessState();
-  // Let the join/update pushes propagate (WAN latency is tens of ms).
-  kernel_->RunFor(Duration::Seconds(2));
+  // Let the join/update pushes propagate (WAN latency is tens of ms);
+  // federated topologies additionally need a full delta-push period for
+  // the sub-Collections to sync the root.
+  Duration settle = Duration::Seconds(2);
+  if (config_.federated) {
+    settle = settle + config_.delta_push_period + Duration::Seconds(2);
+  }
+  kernel_->RunFor(settle);
 }
 
 void Metacomputer::ResetAllStats() {

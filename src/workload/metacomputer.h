@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/collection.h"
+#include "core/collection_federation.h"
 #include "core/dcd.h"
 #include "core/enactor.h"
 #include "core/monitor.h"
@@ -41,6 +42,11 @@ struct MetacomputerConfig {
   bool randomize_load_mean = false;
   // Start hosts' periodic reassessment (drives pushes + triggers).
   bool start_reassessment = false;
+  // Federated Collection topology (DESIGN.md §10): one sub-Collection
+  // per domain that hosts join locally, plus a root aggregating via
+  // periodic delta pushes.  collection() then returns the root.
+  bool federated = false;
+  Duration delta_push_period = Duration::Seconds(5);
 };
 
 // The architecture/OS pairs a heterogeneous metacomputer mixes.
@@ -58,7 +64,11 @@ class Metacomputer {
   SimKernel* kernel() const { return kernel_; }
   const MetacomputerConfig& config() const { return config_; }
 
+  // The Collection queries should address: the flat Collection, or the
+  // federation root when config.federated is set.
   CollectionObject* collection() const { return collection_; }
+  // The federation topology, or nullptr when running flat.
+  CollectionFederation* federation() const { return federation_.get(); }
   EnactorObject* enactor() const { return enactor_; }
   MonitorObject* monitor() const { return monitor_; }
 
@@ -96,6 +106,7 @@ class Metacomputer {
   SimKernel* kernel_;
   MetacomputerConfig config_;
   Rng rng_;
+  std::unique_ptr<CollectionFederation> federation_;
   CollectionObject* collection_ = nullptr;
   EnactorObject* enactor_ = nullptr;
   MonitorObject* monitor_ = nullptr;

@@ -17,6 +17,24 @@ WorkloadSession::WorkloadSession(Metacomputer* metacomputer,
       {1.0, 5.0, 15.0, 30.0, 60.0, 120.0, 300.0, 600.0, 1800.0, 3600.0});
 }
 
+void WorkloadSession::ScopeToDomain(DomainId domain) {
+  CollectionFederation* federation = metacomputer_->federation();
+  if (federation != nullptr && federation->sub(domain) != nullptr) {
+    // Domain-restricted queries go straight to the owning sub-Collection:
+    // intra-domain latency and push-fresh records.
+    scheduler_->RouteQueries(federation->sub(domain)->loid(),
+                             static_cast<std::int64_t>(domain));
+    return;
+  }
+  // Flat topology: same semantics via the domain_scope filter.
+  scheduler_->RouteQueries(metacomputer_->collection()->loid(),
+                           static_cast<std::int64_t>(domain));
+}
+
+void WorkloadSession::BoundStaleness(Duration max_staleness) {
+  scheduler_->SetMaxStaleness(max_staleness);
+}
+
 void WorkloadSession::Submit(const ApplicationSpec& app) {
   SimKernel* kernel = metacomputer_->kernel();
   const std::size_t app_index = results_.size();

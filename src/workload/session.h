@@ -60,6 +60,16 @@ class WorkloadSession {
   const std::vector<SessionAppResult>& results() const { return results_; }
   SessionStats Stats(Duration horizon) const;
 
+  // ---- Federated routing (DESIGN.md §10) ------------------------------------
+  // Restricts this session's placements to one domain: the scheduler is
+  // routed to the owning sub-Collection (fresh, intra-domain) when the
+  // metacomputer is federated, or to the flat Collection with a
+  // domain_scope filter otherwise.
+  void ScopeToDomain(DomainId domain);
+  // Bounds the staleness tolerated from the federation root for global
+  // placements (no-op on flat topologies, where answers are push-fresh).
+  void BoundStaleness(Duration max_staleness);
+
  private:
   void RunApplication(std::size_t app_index, const ApplicationSpec& app,
                       const RunOutcome& outcome);

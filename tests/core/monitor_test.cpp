@@ -108,6 +108,34 @@ TEST_F(MonitorTest, CustomEventWatch) {
   EXPECT_EQ(monitor_->events_received(), 1u);
 }
 
+TEST_F(MonitorTest, SustainedFlappingSpikeDispatchesOnce) {
+  // Regression: an edge-sensitive load trigger on a flapping host re-fires
+  // on every threshold crossing.  Before the debounce each firing invoked
+  // the reschedule handler, so one sustained spike requested N migrations
+  // while the first was still in flight.
+  monitor_->WatchLoadThreshold(world_.hosts[0], 2.0);
+  int reschedules = 0;
+  monitor_->SetRescheduleHandler([&](const RgeEvent&) { ++reschedules; });
+  // Five spike/dip cycles a second apart: the guard crosses false->true
+  // five times, so five outcalls arrive within the debounce window.
+  // (Short drains, not world_.Run() -- that advances two sim minutes and
+  // would step right over the 30s debounce window.)
+  for (int i = 0; i < 5; ++i) {
+    world_.hosts[0]->SpikeLoad(3.0 + i);
+    world_.kernel.RunFor(Duration::Millis(500));
+    world_.hosts[0]->SpikeLoad(0.1);
+    world_.kernel.RunFor(Duration::Millis(500));
+  }
+  EXPECT_EQ(monitor_->events_received(), 5u);
+  EXPECT_EQ(reschedules, 1);
+  EXPECT_EQ(monitor_->events_suppressed(), 4u);
+  // Once the interval elapses the next crossing dispatches again.
+  world_.Run();  // two sim minutes >> 30s debounce
+  world_.hosts[0]->SpikeLoad(4.0);
+  world_.kernel.RunFor(Duration::Millis(500));
+  EXPECT_EQ(reschedules, 2);
+}
+
 TEST_F(MonitorTest, NoHandlerIsHarmless) {
   monitor_->WatchLoadThreshold(world_.hosts[0], 2.0);
   world_.hosts[0]->SpikeLoad(3.0);

@@ -52,7 +52,7 @@ TEST_P(ReservationPropertyTest, InvariantsHoldUnderRandomOperations) {
     } else if (op < 0.7 && !live.empty()) {
       // Cancel a random live reservation.
       const std::size_t i = rng.Index(live.size());
-      table.Cancel(live[i].token);
+      table.Cancel(live[i].token, now);
       live.erase(live.begin() + static_cast<std::ptrdiff_t>(i));
     } else if (op < 0.9 && !live.empty()) {
       // Redeem a random one.
@@ -156,6 +156,77 @@ TEST_P(ReservationPropertyTest, ExpiryIsMonotone) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ReservationPropertyTest,
                          ::testing::Range<std::uint64_t>(1, 13));
+
+// ---- Boundary-instant regression tests (ISSUE 4 satellite) -----------------
+//
+// The window is half-open [start, start + duration): at the exact instant
+// now == start + duration the reservation is dead, and every entry point
+// must agree -- Check, Redeem, ExpireStale, Cancel, and Admit.
+
+TEST(ReservationBoundaryTest, WindowEdgeIsConsistentAcrossOperations) {
+  TokenAuthority authority(11);
+  ReservationTable table(HostCapacity{kCpus, kMemory, kOversub});
+  const SimTime start(0);
+  const Duration duration = Duration::Seconds(10);
+  const SimTime edge = start + duration;
+  ReservationToken token = authority.Issue(
+      Loid(LoidSpace::kHost, 0, 1), Loid(LoidSpace::kVault, 0, 2), start,
+      duration, Duration::Zero(), ReservationType::ReusableTimesharing());
+  ASSERT_TRUE(table.Admit(token, Loid(), 8, 0.1, start).ok());
+
+  // One tick before the edge: alive everywhere.
+  EXPECT_TRUE(table.Check(token, edge - Duration::Micros(1)));
+  // At the edge, every operation classifies the reservation as dead.
+  EXPECT_FALSE(table.Check(token, edge));
+  EXPECT_EQ(table.Redeem(token, edge).code(), ErrorCode::kExpired);
+  EXPECT_FALSE(table.Cancel(token, edge));
+  const ReservationRecord* record = table.Find(token.serial);
+  ASSERT_NE(record, nullptr);
+  EXPECT_EQ(record->state, ReservationState::kExpired);
+}
+
+TEST(ReservationBoundaryTest, CancelAtWindowEndCountsExpiredNotCancelled) {
+  // Regression: Cancel used to be time-unaware, so cancelling a
+  // reservation whose window had already passed flipped it to kCancelled
+  // and bumped cancelled(), contradicting what ExpireStale would have
+  // said one call earlier.
+  TokenAuthority authority(12);
+  ReservationTable table(HostCapacity{kCpus, kMemory, kOversub});
+  ReservationToken token = authority.Issue(
+      Loid(LoidSpace::kHost, 0, 1), Loid(LoidSpace::kVault, 0, 2), SimTime(0),
+      Duration::Seconds(5), Duration::Zero(),
+      ReservationType::OneShotTimesharing());
+  ASSERT_TRUE(table.Admit(token, Loid(), 8, 0.1, SimTime(0)).ok());
+  EXPECT_FALSE(table.Cancel(token, SimTime(0) + Duration::Seconds(5)));
+  EXPECT_EQ(table.cancelled(), 0u);
+  EXPECT_EQ(table.expired(), 1u);
+  const ReservationRecord* record = table.Find(token.serial);
+  ASSERT_NE(record, nullptr);
+  EXPECT_EQ(record->state, ReservationState::kExpired);
+}
+
+TEST(ReservationBoundaryTest, DeadOnArrivalWindowRefused) {
+  // Regression: Admit accepted a window whose end coincided with (or
+  // preceded) `now`; the record was born dead and expired on the next
+  // ExpireStale pass, inflating admitted() with corpses.
+  TokenAuthority authority(13);
+  ReservationTable table(HostCapacity{kCpus, kMemory, kOversub});
+  ReservationToken token = authority.Issue(
+      Loid(LoidSpace::kHost, 0, 1), Loid(LoidSpace::kVault, 0, 2), SimTime(0),
+      Duration::Seconds(10), Duration::Zero(),
+      ReservationType::ReusableTimesharing());
+  const SimTime edge = SimTime(0) + Duration::Seconds(10);
+  Status at_edge = table.Admit(token, Loid(), 8, 0.1, edge);
+  EXPECT_EQ(at_edge.code(), ErrorCode::kInvalidArgument);
+  Status long_gone = table.Admit(token, Loid(), 8, 0.1,
+                                 edge + Duration::Hours(1));
+  EXPECT_EQ(long_gone.code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(table.size(), 0u);
+  EXPECT_EQ(table.rejected(), 2u);
+  // One tick before the edge the same window is still admissible.
+  EXPECT_TRUE(
+      table.Admit(token, Loid(), 8, 0.1, edge - Duration::Micros(1)).ok());
+}
 
 }  // namespace
 }  // namespace legion

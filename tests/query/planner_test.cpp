@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include "query/compile_cache.h"
 #include "query/query.h"
 
 namespace legion::query {
@@ -151,6 +152,58 @@ TEST(PlannerTest, CopiedQueriesShareThePlan) {
   ASSERT_TRUE(query.ok());
   CompiledQuery copy = *query;
   EXPECT_EQ(copy.plan(), query->plan());
+}
+
+// ---- CompileCache boundary conditions (ISSUE 4 satellite) ------------------
+
+std::string QueryText(int i) {
+  return "$host_load < " + std::to_string(i) + ".5";
+}
+
+TEST(CompileCacheTest, EvictsBeforeInsertNeverExceedsCapacity) {
+  // Regression: the insert path used to push the fresh entry first and
+  // evict after, so the cache transiently held capacity_+1 entries.
+  CompileCache cache(2);
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(cache.Get(QueryText(i)).ok());
+    EXPECT_LE(cache.size(), cache.capacity()) << "after insert #" << i;
+  }
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(CompileCacheTest, ZeroCapacityDisablesCachingButStillCompiles) {
+  // Regression: capacity 0 used to be silently promoted to 1 in the
+  // constructor (capacity() reported 1); with evict-after-insert a true
+  // zero would have evicted its own fresh entry and left a dangling
+  // iterator in the map.  Zero now means "compile-through, retain
+  // nothing".
+  CompileCache cache(0);
+  EXPECT_EQ(cache.capacity(), 0u);
+  for (int i = 0; i < 3; ++i) {
+    bool hit = true;
+    auto compiled = cache.Get(QueryText(0), &hit);
+    ASSERT_TRUE(compiled.ok());
+    EXPECT_FALSE(hit);  // never served from cache
+    EXPECT_EQ(cache.size(), 0u);
+  }
+  // Compilation itself still works: the result is usable.
+  auto bad = cache.Get("$host_load <");
+  EXPECT_FALSE(bad.ok());
+}
+
+TEST(CompileCacheTest, EvictionIsLeastRecentlyUsed) {
+  CompileCache cache(2);
+  ASSERT_TRUE(cache.Get(QueryText(0)).ok());
+  ASSERT_TRUE(cache.Get(QueryText(1)).ok());
+  // Touch #0 so #1 becomes the LRU victim.
+  bool hit = false;
+  ASSERT_TRUE(cache.Get(QueryText(0), &hit).ok());
+  EXPECT_TRUE(hit);
+  ASSERT_TRUE(cache.Get(QueryText(2)).ok());  // evicts #1
+  ASSERT_TRUE(cache.Get(QueryText(0), &hit).ok());
+  EXPECT_TRUE(hit);
+  ASSERT_TRUE(cache.Get(QueryText(1), &hit).ok());
+  EXPECT_FALSE(hit);  // was evicted
 }
 
 }  // namespace

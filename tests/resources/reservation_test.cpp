@@ -51,9 +51,9 @@ TEST_F(ReservationFixture, CancelKillsReservation) {
   auto token = Issue(SimTime(0), Duration::Hours(1),
                      ReservationType::OneShotTimesharing());
   ASSERT_TRUE(Admit(token, SimTime(0)).ok());
-  EXPECT_TRUE(table_.Cancel(token));
+  EXPECT_TRUE(table_.Cancel(token, SimTime(0)));
   EXPECT_FALSE(table_.Check(token, SimTime(1)));
-  EXPECT_FALSE(table_.Cancel(token));  // second cancel fails
+  EXPECT_FALSE(table_.Cancel(token, SimTime(1)));  // second cancel fails
   EXPECT_FALSE(table_.Redeem(token, SimTime(1)).ok());
 }
 
@@ -61,7 +61,7 @@ TEST_F(ReservationFixture, UnknownTokenNeverChecks) {
   auto token = Issue(SimTime(0), Duration::Hours(1),
                      ReservationType::OneShotTimesharing());
   EXPECT_FALSE(table_.Check(token, SimTime(0)));
-  EXPECT_FALSE(table_.Cancel(token));
+  EXPECT_FALSE(table_.Cancel(token, SimTime(0)));
   EXPECT_EQ(table_.Redeem(token, SimTime(0)).code(),
             ErrorCode::kInvalidToken);
 }
@@ -236,7 +236,7 @@ TEST_F(ReservationFixture, StatsCount) {
   auto b = Issue(SimTime(0), Duration::Hours(1),
                  ReservationType::ReusableSpaceSharing());
   ASSERT_FALSE(Admit(b, SimTime(0)).ok());
-  table_.Cancel(a);
+  table_.Cancel(a, SimTime(0));
   EXPECT_EQ(table_.admitted(), 1u);
   EXPECT_EQ(table_.rejected(), 1u);
   EXPECT_EQ(table_.cancelled(), 1u);
@@ -279,7 +279,7 @@ TEST_P(ReservationTypeSweep, AdmitCheckRedeemLifecycle) {
   const bool second_ok = table.Redeem(token, SimTime(2)).ok();
   EXPECT_EQ(second_ok, GetParam().type.reuse);
   // Cancel always succeeds while live.
-  EXPECT_TRUE(table.Cancel(token));
+  EXPECT_TRUE(table.Cancel(token, SimTime(2)));
 }
 
 TEST_P(ReservationTypeSweep, ShareBitControlsCoexistence) {
