@@ -58,6 +58,113 @@ SessionStats RunCell(bool load_aware, double arrivals_per_minute) {
   return session.Stats(horizon);
 }
 
+// ---- E12: flat vs batched reservation negotiation -------------------------
+//
+// The batched pipeline (DESIGN.md §11) coalesces a round's same-host
+// reservation requests into ReserveBatch RPCs.  This sweep places a
+// large round-robin master schedule directly through the Enactor and
+// compares RPC count, wire bytes, and simulated time-to-feedback across
+// batch caps, with sender-uplink serialization on so a flood of small
+// RPCs actually pays for its burst.
+struct BatchCellResult {
+  bool ok = false;
+  double place_s = 0.0;        // sim seconds, MakeReservations -> feedback
+  std::uint64_t rpcs = 0;      // kernel rpcs_started
+  std::uint64_t bytes = 0;     // kernel bytes_sent
+  std::uint64_t batches = 0;   // enactor batches_sent (0 on the flat path)
+  std::uint64_t parked = 0;    // slots parked by backpressure
+};
+
+BatchCellResult RunBatchCell(std::size_t objects, std::size_t cap,
+                             int wan_ms) {
+  MetacomputerConfig config;
+  config.domains = 4;
+  config.hosts_per_domain = 16;
+  config.vaults_per_domain = 1;
+  config.heterogeneous = false;
+  config.seed = 777;
+  config.load.initial = 0.0;
+  config.load.mean = 0.0;
+  config.load.volatility = 0.0;
+  config.reservation_batch_cap = cap;
+  config.max_outstanding_batches = 32;
+  NetworkParams net = QuietNet();
+  net.serialize_uplink = true;
+  net.inter_domain_latency = Duration::Millis(wan_ms);
+  World world = MakeWorld(config, net);
+
+  // Tiny timeshared instances so thousands fit: 1 MB, 2% of a CPU.
+  ClassObject* klass = world->MakeUniversalClass("bulk", 1, 0.02);
+
+  // Round-robin master schedule over every host, each mapping using the
+  // host's domain vault.
+  const auto& hosts = world->hosts();
+  std::vector<Loid> domain_vault(config.domains);
+  for (auto* vault : world->vaults()) {
+    domain_vault[vault->spec().domain] = vault->loid();
+  }
+  ScheduleRequestList request;
+  request.masters.emplace_back();
+  MasterSchedule& master = request.masters.back();
+  for (std::size_t i = 0; i < objects; ++i) {
+    HostObject* host = hosts[i % hosts.size()];
+    ObjectMapping mapping;
+    mapping.class_loid = klass->loid();
+    mapping.host = host->loid();
+    mapping.vault = domain_vault[host->spec().domain];
+    master.mappings.push_back(mapping);
+  }
+
+  world->ResetAllStats();
+  BatchCellResult result;
+  const SimTime t0 = world.kernel->Now();
+  SimTime t1 = t0;
+  world->enactor()->MakeReservations(
+      request, [&](Result<ScheduleFeedback> feedback) {
+        result.ok = feedback.ok() && feedback->success;
+        t1 = world.kernel->Now();
+      });
+  world.kernel->RunFor(Duration::Minutes(10));
+
+  result.place_s = (t1 - t0).seconds();
+  const KernelStats& kstats = world.kernel->stats();
+  result.rpcs = kstats.rpcs_started;
+  result.bytes = kstats.bytes_sent;
+  const EnactorStats& estats = world->enactor()->stats();
+  result.batches = estats.batches_sent;
+  result.parked = estats.requests_parked;
+  return result;
+}
+
+void RunBatchExperiment() {
+  Table table("E12 flat vs batched reservation negotiation -- round-robin "
+              "placement over 64 hosts in 4 domains, serialized uplinks",
+              "objects  batch_cap  wan_ms  ok  place_s  rpcs  kbytes  "
+              "batches  parked");
+  table.EnableJson("throughput_batch",
+                   {"objects", "batch_cap", "wan_ms", "ok", "place_s", "rpcs",
+                    "kbytes", "batches", "parked"});
+  table.Begin();
+  const std::vector<std::size_t> object_counts =
+      SmokePreset() ? std::vector<std::size_t>{2000}
+                    : std::vector<std::size_t>{2000, 10000};
+  const std::vector<std::size_t> caps =
+      SmokePreset() ? std::vector<std::size_t>{1, 64, 256}
+                    : std::vector<std::size_t>{1, 16, 64, 256};
+  const std::vector<int> wans =
+      SmokePreset() ? std::vector<int>{30} : std::vector<int>{30, 120};
+  for (std::size_t objects : object_counts) {
+    for (int wan_ms : wans) {
+      for (std::size_t cap : caps) {
+        const BatchCellResult r = RunBatchCell(objects, cap, wan_ms);
+        table.Row("%7zu  %9zu  %6d  %2s  %7.3f  %5zu  %6zu  %7zu  %6zu",
+                  {objects, cap, wan_ms, r.ok ? "y" : "n", r.place_s, r.rpcs,
+                   r.bytes / 1024, r.batches, r.parked});
+      }
+    }
+  }
+}
+
 void RunExperiment() {
   Table table("E11 throughput under offered load -- 4x2000 MIPS-s apps, "
               "16 hosts, 2 h of Poisson arrivals",
@@ -88,5 +195,6 @@ void RunExperiment() {
 
 int main() {
   legion::bench::RunExperiment();
+  legion::bench::RunBatchExperiment();
   return 0;
 }

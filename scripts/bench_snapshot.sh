@@ -2,8 +2,8 @@
 # Benchmark snapshot: builds (if needed) and runs the query-engine,
 # throughput, and federation harnesses, leaving their JSON mirrors next
 # to the repo root (BENCH_collection.json, BENCH_collection_parallel.json,
-# BENCH_throughput.json, BENCH_federation.json) for diffing across
-# commits.
+# BENCH_throughput.json, BENCH_throughput_batch.json,
+# BENCH_federation.json) for diffing across commits.
 # Usage: scripts/bench_snapshot.sh [build-dir]
 set -euo pipefail
 
@@ -40,4 +40,4 @@ cd "$repo"
 "$build/bench/bench_federation"
 
 ls -l BENCH_collection.json BENCH_collection_parallel.json \
-  BENCH_throughput.json BENCH_federation.json
+  BENCH_throughput.json BENCH_throughput_batch.json BENCH_federation.json

@@ -1,11 +1,13 @@
 #!/usr/bin/env bash
-# Chaos sweep: builds bench_chaos and bench_federation, runs the
-# deterministic fault sweeps (loss rate x partition schedule x retry
-# policy for the negotiation path; domains x push period x WAN loss for
-# the federated Collection hierarchy, whose loss cells drop delta-push
-# batches on the wire), and verifies that two same-seed runs produce
-# byte-identical BENCH_chaos.json / BENCH_federation.json -- the
-# determinism guarantee the whole simulation rests on.
+# Chaos sweep: builds bench_chaos, bench_federation, and
+# bench_throughput, runs the deterministic sweeps (loss rate x partition
+# schedule x retry policy for the negotiation path; domains x push
+# period x WAN loss for the federated Collection hierarchy, whose loss
+# cells drop delta-push batches on the wire; scheduler scaling and the
+# batched-reservation cap sweep for the throughput harness), and
+# verifies that two same-seed runs produce byte-identical
+# BENCH_chaos.json / BENCH_federation.json / BENCH_throughput*.json --
+# the determinism guarantee the whole simulation rests on.
 # Usage: scripts/chaos_sweep.sh [build-dir]
 # Honors LEGION_BENCH_PRESET=smoke for the reduced CI sweep.
 set -euo pipefail
@@ -29,22 +31,32 @@ if [[ -f "$build/CMakeCache.txt" ]]; then
 fi
 
 cmake -B "$build" -S "$repo" "${generator_args[@]}" >/dev/null
-cmake --build "$build" -j "$(nproc)" --target bench_chaos bench_federation
-[[ -x "$build/bench/bench_chaos" ]] || die "bench_chaos did not build"
-[[ -x "$build/bench/bench_federation" ]] || die "bench_federation did not build"
+cmake --build "$build" -j "$(nproc)" \
+  --target bench_chaos bench_federation bench_throughput
+for bench in chaos federation throughput; do
+  [[ -x "$build/bench/bench_$bench" ]] || die "bench_$bench did not build"
+done
 
 cd "$repo"
 scratch="$(mktemp -d)"
 trap 'rm -rf "$scratch"' EXIT
 
 # Determinism check: a second same-seed run must be byte-identical.
-for name in chaos federation; do
+# bench_throughput mirrors two experiments (BENCH_throughput.json and
+# BENCH_throughput_batch.json); both are held to the same bar.
+for name in chaos federation throughput; do
   "$build/bench/bench_$name"
+  jsons=("BENCH_$name".json "BENCH_$name"_*.json)
   [[ -f "BENCH_$name.json" ]] ||
     die "bench_$name did not write BENCH_$name.json"
-  cp "BENCH_$name.json" "$scratch/BENCH_$name.json"
+  for json in "${jsons[@]}"; do
+    [[ -f "$json" ]] && cp "$json" "$scratch/$json"
+  done
   "$build/bench/bench_$name" >/dev/null
-  cmp -s "BENCH_$name.json" "$scratch/BENCH_$name.json" ||
-    die "two same-seed sweep runs produced different BENCH_$name.json"
+  for json in "${jsons[@]}"; do
+    [[ -f "$scratch/$json" ]] || continue
+    cmp -s "$json" "$scratch/$json" ||
+      die "two same-seed sweep runs produced different $json"
+  done
 done
 echo "chaos_sweep.sh: determinism check passed (two runs byte-identical)"

@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
-# Sanitizer sweep: configure a dedicated build tree with ASan+UBSan and
-# run the full test suite under it.  Usage: scripts/check.sh [build-dir]
+# Sanitizer sweep: configure a dedicated build tree with sanitizers on
+# and run the full test suite under it.  The sanitizer set defaults to
+# ASan+UBSan; set LEGION_SANITIZE to override (e.g. LEGION_SANITIZE=thread
+# for the TSan job).  Usage: [LEGION_SANITIZE=...] scripts/check.sh [build-dir]
 set -euo pipefail
 
 die() { echo "check.sh: $*" >&2; exit 1; }
@@ -9,7 +11,10 @@ command -v cmake >/dev/null || die "cmake not found on PATH"
 command -v ctest >/dev/null || die "ctest not found on PATH"
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
-build="${1:-$repo/build-sanitize}"
+sanitize="${LEGION_SANITIZE:-address,undefined}"
+# Default to one build tree per sanitizer set so switching sets does not
+# force a full reconfigure+rebuild of the other's tree.
+build="${1:-$repo/build-sanitize-${sanitize//,/-}}"
 
 # Refuse a pre-existing directory that is not a CMake build tree: we are
 # about to configure into it and would clobber whatever lives there.
@@ -27,6 +32,6 @@ if [[ -f "$build/CMakeCache.txt" ]]; then
 fi
 
 cmake -B "$build" -S "$repo" "${generator_args[@]}" \
-  -DLEGION_SANITIZE=address,undefined
+  -DLEGION_SANITIZE="$sanitize"
 cmake --build "$build" -j "$(nproc)"
 ctest --test-dir "$build" --output-on-failure -j "$(nproc)"

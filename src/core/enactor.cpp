@@ -1,6 +1,7 @@
 #include "core/enactor.h"
 
 #include <algorithm>
+#include <unordered_map>
 
 #include "objects/class_object.h"
 
@@ -31,6 +32,62 @@ struct EnactorObject::Negotiation {
   ErrorCode last_code = ErrorCode::kNoResources;
   std::string last_error;
   bool finished = false;
+  // At-most-once ids for the batch pipeline: one per (host, slot set)
+  // this negotiation has sent.  A whole-batch timeout retransmits the
+  // identical set under the same id so the host can deduplicate; a
+  // variant that replaces a slot's mapping invalidates any id covering
+  // that slot (the retransmission would no longer be identical).
+  struct BatchKey {
+    Loid host;
+    std::vector<std::size_t> indices;
+    std::uint64_t id = 0;
+  };
+  std::vector<BatchKey> batch_keys;
+  // When one host's group splits into several chunks, the trailing
+  // chunks wait here for the leading chunk's reply: a smaller trailing
+  // chunk is a smaller message and would otherwise overtake the bigger
+  // one on the wire, making the host admit the round's slots out of
+  // mapping order (and so decide differently than the legacy path).
+  // Their slots stay counted in `outstanding`, so the round cannot
+  // complete under them.
+  std::vector<std::pair<Loid, std::deque<std::vector<std::size_t>>>>
+      chunk_queues;
+  // The failure set of the last abandoned master (per-mapping feedback
+  // for the scheduler), captured before AbandonMaster cancels the holds.
+  std::vector<std::size_t> last_failed_indices;
+
+  void QueueChunk(const Loid& host, std::vector<std::size_t> indices) {
+    for (auto& [queued_host, chunks] : chunk_queues) {
+      if (queued_host == host) {
+        chunks.push_back(std::move(indices));
+        return;
+      }
+    }
+    chunk_queues.emplace_back(
+        host, std::deque<std::vector<std::size_t>>{std::move(indices)});
+  }
+
+  std::optional<std::vector<std::size_t>> PopChunk(const Loid& host) {
+    for (auto it = chunk_queues.begin(); it != chunk_queues.end(); ++it) {
+      if (it->first != host) continue;
+      std::vector<std::size_t> indices = std::move(it->second.front());
+      it->second.pop_front();
+      if (it->second.empty()) chunk_queues.erase(it);
+      return indices;
+    }
+    return std::nullopt;
+  }
+
+  void InvalidateBatchKeys(std::size_t index) {
+    batch_keys.erase(
+        std::remove_if(batch_keys.begin(), batch_keys.end(),
+                       [index](const BatchKey& key) {
+                         return std::find(key.indices.begin(),
+                                          key.indices.end(),
+                                          index) != key.indices.end();
+                       }),
+        batch_keys.end());
+  }
 };
 
 EnactorObject::EnactorObject(SimKernel* kernel, Loid loid,
@@ -64,6 +121,11 @@ EnactorObject::EnactorObject(SimKernel* kernel, Loid loid,
   cells_.breaker_probes = metrics.GetCounter("breaker_probes", labels);
   cells_.partial_recoveries =
       metrics.GetCounter("partial_recoveries", labels);
+  cells_.batches_sent = metrics.GetCounter("batches_sent", labels);
+  cells_.batched_slots = metrics.GetCounter("batched_slots", labels);
+  cells_.requests_parked = metrics.GetCounter("requests_parked", labels);
+  cells_.batch_size = metrics.GetHistogram(
+      "batch_size", labels, {1, 2, 4, 8, 16, 32, 64, 128, 256, 512});
 }
 
 const EnactorStats& EnactorObject::stats() const {
@@ -79,6 +141,9 @@ const EnactorStats& EnactorObject::stats() const {
   stats_view_.breaker_open = cells_.breaker_open->value();
   stats_view_.breaker_probes = cells_.breaker_probes->value();
   stats_view_.partial_recoveries = cells_.partial_recoveries->value();
+  stats_view_.batches_sent = cells_.batches_sent->value();
+  stats_view_.batched_slots = cells_.batched_slots->value();
+  stats_view_.requests_parked = cells_.requests_parked->value();
   return stats_view_;
 }
 
@@ -96,6 +161,10 @@ void EnactorObject::ResetStats() {
   cells_.breaker_open->Reset();
   cells_.breaker_probes->Reset();
   cells_.partial_recoveries->Reset();
+  cells_.batches_sent->Reset();
+  cells_.batched_slots->Reset();
+  cells_.requests_parked->Reset();
+  cells_.batch_size->Reset();
 }
 
 void EnactorObject::LookupDemand(const Loid& class_loid,
@@ -142,6 +211,8 @@ void EnactorObject::StartMaster(const std::shared_ptr<Negotiation>& n) {
   n->attempts.assign(master.mappings.size(), 0);
   n->applied_variants.clear();
   n->next_variant = 0;
+  n->batch_keys.clear();  // a new master's indices mean new mappings
+  n->chunk_queues.clear();
   RequestMissing(n);
 }
 
@@ -159,7 +230,296 @@ void EnactorObject::RequestMissing(const std::shared_ptr<Negotiation>& n) {
   }
   cells_.negotiation_rounds->Add();
   n->outstanding = missing.size();
-  for (std::size_t index : missing) ReserveIndex(n, index);
+  if (options_.max_batch_size <= 1) {
+    // Legacy path: one RPC per mapping.
+    for (std::size_t index : missing) ReserveIndex(n, index);
+    return;
+  }
+  // Batched path (DESIGN.md §11): group the round's requests by target
+  // host, preserving mapping order within each group (the order the
+  // host's table admits slots in), and chunk each group at the cap.
+  // Open breakers still fail per index -- batching never widens the
+  // granularity of the health machinery.
+  std::vector<std::pair<Loid, std::vector<std::size_t>>> groups;
+  for (std::size_t index : missing) {
+    const Loid& host = n->current[index].host;
+    if (options_.use_health && !health_.Healthy(host)) {
+      FailIndexFast(n, index);
+      continue;
+    }
+    auto it = std::find_if(
+        groups.begin(), groups.end(),
+        [&host](const auto& group) { return group.first == host; });
+    if (it == groups.end()) {
+      groups.emplace_back(host, std::vector<std::size_t>{index});
+    } else {
+      it->second.push_back(index);
+    }
+  }
+  for (auto& [host, indices] : groups) {
+    // Chunks after the first wait for their predecessor's reply
+    // (DispatchNextChunk) so the host admits this round's slots in
+    // mapping order even when the chunks differ in wire size.
+    for (std::size_t begin = options_.max_batch_size; begin < indices.size();
+         begin += options_.max_batch_size) {
+      const std::size_t end =
+          std::min(begin + options_.max_batch_size, indices.size());
+      n->QueueChunk(host, std::vector<std::size_t>(indices.begin() + begin,
+                                                   indices.begin() + end));
+    }
+    indices.resize(std::min(indices.size(), options_.max_batch_size));
+    EnqueueBatch(n, host, std::move(indices));
+  }
+}
+
+// The in-order successor of a chunk whose fate is settled: sent once the
+// predecessor's reply (or breaker fast-fail) has been processed.
+void EnactorObject::DispatchNextChunk(const std::shared_ptr<Negotiation>& n,
+                                      const Loid& host) {
+  if (n->finished) return;
+  if (auto indices = n->PopChunk(host)) {
+    EnqueueBatch(n, host, std::move(*indices));
+  }
+}
+
+void EnactorObject::EnqueueBatch(const std::shared_ptr<Negotiation>& n,
+                                 const Loid& host,
+                                 std::vector<std::size_t> indices) {
+  Batch batch;
+  batch.negotiation = n;
+  batch.host = host;
+  batch.indices = std::move(indices);
+  // At-most-once id: an identical (host, slot set) retransmission reuses
+  // its id so the host replays the recorded reply instead of admitting
+  // the windows twice.
+  auto it = std::find_if(n->batch_keys.begin(), n->batch_keys.end(),
+                         [&](const Negotiation::BatchKey& key) {
+                           return key.host == batch.host &&
+                                  key.indices == batch.indices;
+                         });
+  if (it != n->batch_keys.end()) {
+    batch.id = it->id;
+  } else {
+    batch.id = next_batch_id_++;
+    n->batch_keys.push_back(
+        Negotiation::BatchKey{batch.host, batch.indices, batch.id});
+  }
+  DispatchBatch(std::move(batch));
+}
+
+void EnactorObject::DispatchBatch(Batch batch) {
+  if (options_.max_outstanding_batches > 0 &&
+      outstanding_batches_ >= options_.max_outstanding_batches) {
+    // Backpressure: park instead of flooding the event queue; the slots
+    // stay accounted in the negotiation's outstanding set.
+    cells_.requests_parked->Add(batch.indices.size());
+    if (kernel()->trace().enabled()) {
+      kernel()->trace().Instant(
+          kernel()->Now(), "batch_parked", "enactor",
+          kernel()->trace().current(),
+          {{"host", batch.host.ToString()},
+           {"slots", std::to_string(batch.indices.size())}});
+    }
+    parked_.push_back(std::move(batch));
+    return;
+  }
+  SendBatch(std::move(batch));
+}
+
+void EnactorObject::PumpParked() {
+  while (!parked_.empty() &&
+         (options_.max_outstanding_batches == 0 ||
+          outstanding_batches_ < options_.max_outstanding_batches)) {
+    Batch batch = std::move(parked_.front());
+    parked_.pop_front();
+    SendBatch(std::move(batch));
+  }
+}
+
+void EnactorObject::SendBatch(Batch batch) {
+  const std::shared_ptr<Negotiation>& n = batch.negotiation;
+  if (n->finished) return;  // parked past its negotiation's end
+  // The breaker may have opened while the batch waited for a slot.
+  if (options_.use_health && !health_.Healthy(batch.host)) {
+    for (std::size_t index : batch.indices) FailIndexFast(n, index);
+    DispatchNextChunk(n, batch.host);  // no reply will come to trigger it
+    return;
+  }
+  if (options_.use_health && health_.IsProbe(batch.host)) {
+    cells_.breaker_probes->Add();
+  }
+
+  ReservationBatchRequest request;
+  request.requester = loid();
+  request.batch_id = batch.id;
+  request.slots.reserve(batch.indices.size());
+  for (std::size_t index : batch.indices) {
+    const ObjectMapping& mapping = n->current[index];
+    // Thrash metric, per slot, exactly as on the unbatched path.
+    const auto& history = n->cancelled_history[index];
+    if (std::find(history.begin(), history.end(), mapping) != history.end()) {
+      cells_.rereservations->Add();
+      if (kernel()->trace().enabled()) {
+        kernel()->trace().Instant(kernel()->Now(), "rereservation", "enactor",
+                                  kernel()->trace().current(),
+                                  {{"host", mapping.host.ToString()},
+                                   {"index", std::to_string(index)}});
+      }
+    }
+    cells_.reservations_requested->Add();
+    BatchSlotRequest slot;
+    slot.index = index;
+    slot.request.vault = mapping.vault;
+    slot.request.start = kernel()->Now() + options_.reservation_start_offset;
+    slot.request.duration = options_.reservation_duration;
+    slot.request.confirm_timeout = options_.confirm_timeout;
+    slot.request.type = options_.reservation_type;
+    slot.request.requester = loid();
+    slot.request.requester_domain = loid().domain();
+    LookupDemand(mapping.class_loid, &slot.request.memory_mb,
+                 &slot.request.cpu_fraction);
+    request.slots.push_back(std::move(slot));
+  }
+
+  ++outstanding_batches_;
+  cells_.batches_sent->Add();
+  cells_.batched_slots->Add(batch.indices.size());
+  cells_.batch_size->Observe(static_cast<double>(batch.indices.size()));
+  if (kernel()->trace().enabled()) {
+    kernel()->trace().Instant(
+        kernel()->Now(), "reserve_batch", "enactor",
+        kernel()->trace().current(),
+        {{"host", batch.host.ToString()},
+         {"slots", std::to_string(batch.indices.size())}});
+  }
+  // Size-cost the RPC on the wire: one envelope plus a marginal cost per
+  // slot, both ways, so NetworkModel charges real transfer time.
+  const std::size_t request_bytes =
+      kSmallMessage + request.slots.size() * kBatchSlotMessage;
+  const std::size_t reply_bytes =
+      kSmallMessage + request.slots.size() * kBatchSlotReplyMessage;
+  const Loid host = batch.host;
+  CallOn<ReservationBatchReply, HostInterface>(
+      kernel(), loid(), host, request_bytes, reply_bytes,
+      options_.rpc_timeout,
+      [request](HostInterface& host_iface,
+                Callback<ReservationBatchReply> reply) {
+        host_iface.MakeReservationBatch(request, std::move(reply));
+      },
+      [this, batch = std::move(batch)](Result<ReservationBatchReply> result) {
+        OnBatchReply(batch, std::move(result));
+      },
+      "reserve_batch");
+}
+
+void EnactorObject::OnBatchReply(const Batch& batch,
+                                 Result<ReservationBatchReply> result) {
+  --outstanding_batches_;
+  // Free slot first: parked batches (possibly of other negotiations)
+  // should not wait on this reply's bookkeeping.
+  PumpParked();
+  const std::shared_ptr<Negotiation>& n = batch.negotiation;
+  if (n->finished) return;
+  const Loid target = batch.host;
+  std::size_t completed = 0;
+
+  if (result.ok()) {
+    // The host answered: per-slot outcomes, per-slot health bookkeeping.
+    std::unordered_map<std::size_t, const BatchSlotOutcome*> by_index;
+    for (const BatchSlotOutcome& outcome : result->outcomes) {
+      by_index[outcome.index] = &outcome;
+    }
+    for (std::size_t index : batch.indices) {
+      ++completed;
+      auto it = by_index.find(index);
+      if (it == by_index.end()) {
+        cells_.reservations_failed->Add();
+        n->last_code = ErrorCode::kInternal;
+        n->last_error = "batch reply missing slot " + std::to_string(index);
+        continue;
+      }
+      const BatchSlotOutcome& outcome = *it->second;
+      if (outcome.status.ok()) {
+        if (options_.use_health) health_.RecordSuccess(target);
+        cells_.reservations_granted->Add();
+        if (n->attempts[index] > 0) cells_.partial_recoveries->Add();
+        n->tokens[index] = outcome.token;
+      } else {
+        // Slot-level refusals and capacity shortfalls are the host's
+        // prerogative, not sickness -- no health signal, no retry; the
+        // variant machinery takes over per mapping.
+        cells_.reservations_failed->Add();
+        n->last_code = outcome.status.code();
+        n->last_error = outcome.status.message();
+      }
+      if (kernel()->trace().enabled()) {
+        kernel()->trace().Instant(
+            kernel()->Now(),
+            outcome.status.ok() ? "reserve_ok" : "reserve_fail", "enactor",
+            kernel()->trace().current(),
+            {{"host", target.ToString()},
+             {"index", std::to_string(index)}});
+      }
+    }
+  } else {
+    // The whole RPC failed (timeout, unreachable host): every slot
+    // shares the outcome, with the same per-slot health and retry
+    // granularity as N concurrent unbatched RPCs would have had.
+    const ErrorCode code = result.status().code();
+    std::vector<std::size_t> retryable;
+    for (std::size_t index : batch.indices) {
+      if (options_.use_health && (code == ErrorCode::kTimeout ||
+                                  code == ErrorCode::kUnavailable)) {
+        health_.RecordFailure(target);
+      }
+      cells_.reservations_failed->Add();
+      n->last_code = code;
+      n->last_error = result.status().message();
+      if (code == ErrorCode::kTimeout &&
+          n->attempts[index] + 1 < options_.retry.max_attempts &&
+          (!options_.use_health || health_.Healthy(target))) {
+        ++n->attempts[index];
+        cells_.retries->Add();
+        retryable.push_back(index);
+      } else {
+        ++completed;
+      }
+    }
+    if (!retryable.empty()) {
+      // One backoff delay for the retransmission, budgeted by the
+      // most-retried slot.  The retried slots keep their outstanding
+      // accounting; EnqueueBatch reuses the batch id iff the slot set is
+      // unchanged, making the retransmission dedupable at the host.
+      int attempt = 0;
+      for (std::size_t index : retryable) {
+        attempt = std::max(attempt, n->attempts[index]);
+      }
+      const Duration delay = BackoffDelay(attempt);
+      if (kernel()->trace().enabled()) {
+        kernel()->trace().Instant(
+            kernel()->Now(), "batch_retry", "enactor",
+            kernel()->trace().current(),
+            {{"host", target.ToString()},
+             {"slots", std::to_string(retryable.size())},
+             {"delay", delay.ToString()}});
+      }
+      kernel()->ScheduleAfter(
+          delay, [this, n, host = target, retryable = std::move(retryable)] {
+            if (n->finished) return;
+            EnqueueBatch(n, host, retryable);
+          });
+    }
+  }
+
+  // This chunk's fate is settled (every slot granted, failed, or owned by
+  // a scheduled retransmission that will re-enter here); release the
+  // host's next in-order chunk, if any.  Retransmissions keep their
+  // successor waiting so the host still sees the round in mapping order.
+  if (result.ok() || completed == batch.indices.size()) {
+    DispatchNextChunk(n, target);
+  }
+  n->outstanding -= completed;
+  if (n->outstanding == 0) OnRoundComplete(n);
 }
 
 Duration EnactorObject::BackoffDelay(int retry_number) {
@@ -353,6 +713,8 @@ void EnactorObject::OnRoundComplete(const std::shared_ptr<Negotiation>& n) {
         CancelHeld(n, index);
         n->current[index] = mapping;
         n->attempts[index] = 0;  // new mapping, fresh retry budget
+        // A batch covering this slot is no longer retransmittable as-is.
+        n->InvalidateBatchKeys(index);
       }
     }
     n->next_variant = chosen.back() + 1;
@@ -370,10 +732,17 @@ void EnactorObject::OnRoundComplete(const std::shared_ptr<Negotiation>& n) {
   n->applied_variants.push_back(v);
   n->current = master.WithVariant(v);
   n->attempts.assign(n->current.size(), 0);
+  n->batch_keys.clear();  // wholesale replacement invalidates every set
   RequestMissing(n);
 }
 
 void EnactorObject::AbandonMaster(const std::shared_ptr<Negotiation>& n) {
+  // Per-mapping failure feedback: record which indices never secured a
+  // token before the holds are cancelled below.
+  n->last_failed_indices.clear();
+  for (std::size_t i = 0; i < n->tokens.size(); ++i) {
+    if (!n->tokens[i].has_value()) n->last_failed_indices.push_back(i);
+  }
   for (std::size_t i = 0; i < n->tokens.size(); ++i) CancelHeld(n, i);
   ++n->master;
   StartMaster(n);
@@ -401,6 +770,10 @@ void EnactorObject::Fail(const std::shared_ptr<Negotiation>& n) {
   feedback.success = false;
   feedback.failure = n->last_code;
   feedback.failure_detail = n->last_error;
+  // Which of the last master's mappings never held a token: the
+  // scheduler's per-mapping signal for shrinking or re-aiming the next
+  // attempt (and its mappings_unplaced metric).
+  feedback.failed_indices = n->last_failed_indices;
   n->done(std::move(feedback));
 }
 

@@ -29,6 +29,7 @@
 // which exhibits exactly the thrashing the paper's design avoids.
 #pragma once
 
+#include <deque>
 #include <memory>
 #include <set>
 
@@ -60,6 +61,16 @@ struct EnactorOptions {
   Duration confirm_timeout = Duration::Minutes(5);
   ReservationType reservation_type = ReservationType::OneShotTimesharing();
   Duration rpc_timeout = kDefaultRpcTimeout;
+  // Batched negotiation (DESIGN.md §11): a round's requests are grouped
+  // by target host and sent as ReserveBatch RPCs of at most
+  // max_batch_size slots.  1 = the legacy one-RPC-per-mapping path
+  // (byte-identical placements either way; the batch path saves round
+  // trips and wire bytes).
+  std::size_t max_batch_size = 64;
+  // Backpressure: at most this many batches in flight at once; overflow
+  // parks in a FIFO admission queue instead of flooding the event queue
+  // and the WAN.  0 = unlimited.
+  std::size_t max_outstanding_batches = 32;
   // Bitmap-guided variant selection (the paper's design).  When false,
   // any failure cancels every held reservation and the next variant is
   // tried as a whole schedule (naive baseline).
@@ -100,6 +111,13 @@ struct EnactorStats {
   std::uint64_t breaker_open = 0;
   std::uint64_t breaker_probes = 0;
   std::uint64_t partial_recoveries = 0;
+  // Batch pipeline: ReserveBatch RPCs sent, slots across them (their
+  // ratio is the realized batch size; the batch_size histogram keeps the
+  // distribution), and slots that waited in the bounded admission queue
+  // because max_outstanding_batches was reached.
+  std::uint64_t batches_sent = 0;
+  std::uint64_t batched_slots = 0;
+  std::uint64_t requests_parked = 0;
 };
 
 class EnactorObject : public LegionObject {
@@ -133,10 +151,33 @@ class EnactorObject : public LegionObject {
  private:
   struct Negotiation;
 
+  // One ReserveBatch unit of work: a chunk of a round's indices bound
+  // for one host.  Lives in the parked queue under backpressure.
+  struct Batch {
+    std::shared_ptr<Negotiation> negotiation;
+    Loid host;
+    std::vector<std::size_t> indices;
+    std::uint64_t id = 0;
+  };
+
   void StartMaster(const std::shared_ptr<Negotiation>& n);
   void RequestMissing(const std::shared_ptr<Negotiation>& n);
   void ReserveIndex(const std::shared_ptr<Negotiation>& n, std::size_t index);
   void FailIndexFast(const std::shared_ptr<Negotiation>& n, std::size_t index);
+  // Batch pipeline: EnqueueBatch assigns the at-most-once id (reusing it
+  // for an identical retransmission) and hands to DispatchBatch, which
+  // either sends or parks under backpressure; PumpParked drains the
+  // queue as replies free slots.
+  void EnqueueBatch(const std::shared_ptr<Negotiation>& n, const Loid& host,
+                    std::vector<std::size_t> indices);
+  // Releases a host's next queued same-round chunk once its predecessor's
+  // fate is settled; chunks to one host go out strictly in mapping order.
+  void DispatchNextChunk(const std::shared_ptr<Negotiation>& n,
+                         const Loid& host);
+  void DispatchBatch(Batch batch);
+  void SendBatch(Batch batch);
+  void OnBatchReply(const Batch& batch, Result<ReservationBatchReply> result);
+  void PumpParked();
   Duration BackoffDelay(int retry_number);
   void OnRoundComplete(const std::shared_ptr<Negotiation>& n);
   void AbandonMaster(const std::shared_ptr<Negotiation>& n);
@@ -164,6 +205,10 @@ class EnactorObject : public LegionObject {
     obs::Counter* breaker_open;
     obs::Counter* breaker_probes;
     obs::Counter* partial_recoveries;
+    obs::Counter* batches_sent;
+    obs::Counter* batched_slots;
+    obs::Counter* requests_parked;
+    obs::Histogram* batch_size;
   };
 
   EnactorOptions options_;
@@ -171,6 +216,10 @@ class EnactorObject : public LegionObject {
   Rng rng_;  // backoff jitter; seeded from the sim's network seed
   Cells cells_;
   mutable EnactorStats stats_view_;
+  // Backpressure state shared across negotiations.
+  std::deque<Batch> parked_;
+  std::size_t outstanding_batches_ = 0;
+  std::uint64_t next_batch_id_ = 1;
 };
 
 }  // namespace legion

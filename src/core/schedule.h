@@ -109,6 +109,10 @@ struct ScheduleFeedback {
   // schedule, or other failure".
   ErrorCode failure = ErrorCode::kOk;
   std::string failure_detail;
+  // Per-mapping granularity on failure: the indices of the last tried
+  // master's mappings that never secured a reservation.  Empty when the
+  // request was malformed (no master was tried).
+  std::vector<std::size_t> failed_indices;
 };
 
 // What enact_schedule() reports back per mapping.

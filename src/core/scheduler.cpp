@@ -29,6 +29,8 @@ SchedulerObject::SchedulerObject(SimKernel* kernel, Loid loid,
   lookups_cell_ = kernel->metrics().GetCounter("collection_lookups", labels);
   suspects_skipped_cell_ =
       kernel->metrics().GetCounter("suspects_skipped", labels);
+  mappings_unplaced_cell_ =
+      kernel->metrics().GetCounter("mappings_unplaced", labels);
 }
 
 const HealthTracker* SchedulerObject::health() const {
@@ -214,7 +216,12 @@ void SchedulerObject::RunEnactAttempt(const std::shared_ptr<RunState>& state,
       },
       [this, state, schedule](Result<ScheduleFeedback> feedback) {
         if (!feedback.ok() || !feedback->success) {
-          if (feedback.ok()) state->outcome.feedback = *feedback;
+          if (feedback.ok()) {
+            state->outcome.feedback = *feedback;
+            // Per-mapping granularity of the failure: how many slots of
+            // the last tried master never secured a reservation.
+            mappings_unplaced_cell_->Add(feedback->failed_indices.size());
+          }
           RunEnactAttempt(state, schedule);
           return;
         }

@@ -151,6 +151,7 @@ class SchedulerObject : public LegionObject {
   obs::Counter* successes_cell_ = nullptr;
   obs::Counter* lookups_cell_ = nullptr;
   obs::Counter* suspects_skipped_cell_ = nullptr;
+  obs::Counter* mappings_unplaced_cell_ = nullptr;
 };
 
 }  // namespace legion

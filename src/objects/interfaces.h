@@ -52,6 +52,39 @@ struct ReservationRequest {
   double cpu_fraction = 1.0;   // share of one CPU the object will use
 };
 
+// ---- Batched reservation negotiation (DESIGN.md §11) ----------------------
+//
+// The Enactor groups a schedule's mappings by target host and sends one
+// ReserveBatch RPC per host instead of one per mapping (the Nimrod/G
+// amortization).  Slots keep per-mapping granularity: each carries the
+// master-schedule index it reserves for, and each gets its own outcome.
+
+// One mapping's reservation inside a batch.
+struct BatchSlotRequest {
+  std::size_t index = 0;  // master-schedule index (round-trips unchanged)
+  ReservationRequest request;
+};
+
+struct ReservationBatchRequest {
+  Loid requester;
+  // At-most-once admission id: the Enactor reuses the id when it
+  // retransmits an identical slot set after a lost reply, and the host
+  // replays the recorded reply instead of admitting twice.  0 = no dedup.
+  std::uint64_t batch_id = 0;
+  std::vector<BatchSlotRequest> slots;
+};
+
+// Per-slot result.  `token` is meaningful iff `status.ok()`.
+struct BatchSlotOutcome {
+  std::size_t index = 0;
+  Status status = Status::Ok();
+  ReservationToken token;
+};
+
+struct ReservationBatchReply {
+  std::vector<BatchSlotOutcome> outcomes;
+};
+
 // ---- Object startup -------------------------------------------------------
 
 struct StartObjectRequest {
@@ -84,6 +117,11 @@ class HostInterface {
   // Reservation management.
   virtual void MakeReservation(const ReservationRequest& request,
                                Callback<ReservationToken> done) = 0;
+  // Batched admission: every slot is evaluated against one consistent
+  // table snapshot and either durably admitted or reported failed in its
+  // outcome -- the table is never left half-updated between the two.
+  virtual void MakeReservationBatch(const ReservationBatchRequest& request,
+                                    Callback<ReservationBatchReply> done) = 0;
   virtual void CheckReservation(const ReservationToken& token,
                                 Callback<bool> done) = 0;
   virtual void CancelReservation(const ReservationToken& token,
@@ -218,6 +256,13 @@ void CallOn(SimKernel* kernel, const Loid& from, const Loid& to,
 inline constexpr std::size_t kSmallMessage = 256;
 inline constexpr std::size_t kMediumMessage = 2048;
 inline constexpr std::size_t kLargeMessage = 64 * 1024;
+
+// Marginal wire cost of one slot inside a reservation batch (request and
+// reply).  A ReserveBatch RPC is size-costed as one kSmallMessage
+// envelope plus these per slot, so NetworkModel charges real transfer
+// time for big batches while the per-host amortization stays visible.
+inline constexpr std::size_t kBatchSlotMessage = 64;
+inline constexpr std::size_t kBatchSlotReplyMessage = 48;
 
 // Default RPC timeout for control-plane calls.
 inline constexpr Duration kDefaultRpcTimeout = Duration::Seconds(30);

@@ -80,6 +80,27 @@ void BatchQueueHost::MakeReservation(const ReservationRequest& request,
       });
 }
 
+Status BatchQueueHost::PreAdmitSlot(const ReservationRequest& request,
+                                    SimTime now) {
+  if (queue_->SupportsReservations()) {
+    const SimTime start = std::max(request.start, now);
+    if (!queue_->CanHonorWindow(start, start + request.duration,
+                                request.cpu_fraction, now)) {
+      return Status::Error(ErrorCode::kNoResources,
+                           "queue cannot guarantee the window");
+    }
+  }
+  return Status::Ok();
+}
+
+void BatchQueueHost::OnSlotGranted(const ReservationToken& token,
+                                   double cpu_fraction) {
+  if (queue_->SupportsReservations()) {
+    queue_->AddReservationWindow(token.start, token.start + token.duration,
+                                 cpu_fraction);
+  }
+}
+
 void BatchQueueHost::CancelReservation(const ReservationToken& token,
                                        Callback<bool> done) {
   double cpu = 1.0;

@@ -56,6 +56,12 @@ class BatchQueueHost : public HostObject {
   std::size_t pending_job_count() const { return pending_jobs_.size(); }
 
  protected:
+  // Batch-admission hooks: the queue's veto and calendar registration
+  // apply to each slot of a reservation batch exactly as they do to a
+  // single MakeReservation.
+  Status PreAdmitSlot(const ReservationRequest& request, SimTime now) override;
+  void OnSlotGranted(const ReservationToken& token,
+                     double cpu_fraction) override;
   Status AdmitWithoutReservation(const StartObjectRequest& request) override;
   void LaunchObjects(const StartObjectRequest& request,
                      std::uint64_t reservation_serial,

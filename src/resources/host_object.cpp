@@ -65,6 +65,137 @@ void HostObject::MakeReservation(const ReservationRequest& request,
           });
 }
 
+void HostObject::MakeReservationBatch(const ReservationBatchRequest& request,
+                                      Callback<ReservationBatchReply> done) {
+  const SimTime now = kernel()->Now();
+  table_.ExpireStale(now);
+
+  // At-most-once admission: a batch whose reply was lost comes back under
+  // the same id; replay the recorded reply instead of admitting twice.
+  const std::string dedup_key =
+      request.requester.ToString() + "#" + std::to_string(request.batch_id);
+  if (request.batch_id != 0) {
+    auto cached = completed_batches_.find(dedup_key);
+    if (cached != completed_batches_.end()) {
+      done(cached->second);
+      return;
+    }
+  }
+
+  auto batch = std::make_shared<PendingBatch>();
+  batch->request = request;
+  batch->done = std::move(done);
+  batch->outcomes.resize(request.slots.size());
+  batch->admissible.assign(request.slots.size(), false);
+
+  // Per-slot screening, same order and same rules as MakeReservation:
+  // local policy first, then vault validity, then vault reachability.
+  // Unknown vaults are probed live (one probe per distinct vault) before
+  // anything is admitted, so the final admit sees one snapshot.
+  std::unordered_map<Loid, std::vector<std::size_t>> probe_slots;
+  for (std::size_t i = 0; i < request.slots.size(); ++i) {
+    const ReservationRequest& slot = request.slots[i].request;
+    batch->outcomes[i].index = request.slots[i].index;
+    Status permit = policy_->Permit(slot, attributes(), now);
+    if (!permit.ok()) {
+      batch->outcomes[i].status = permit;
+      continue;
+    }
+    if (!slot.vault.valid()) {
+      batch->outcomes[i].status = Status::Error(
+          ErrorCode::kInvalidArgument, "reservation request names no vault");
+      continue;
+    }
+    Status veto = PreAdmitSlot(slot, now);
+    if (!veto.ok()) {
+      batch->outcomes[i].status = veto;
+      continue;
+    }
+    const bool known_reachable =
+        std::find(compatible_vaults_.begin(), compatible_vaults_.end(),
+                  slot.vault) != compatible_vaults_.end();
+    if (known_reachable) {
+      batch->admissible[i] = true;
+    } else {
+      probe_slots[slot.vault].push_back(i);
+    }
+  }
+
+  if (probe_slots.empty()) {
+    FinishBatch(batch);
+    return;
+  }
+  batch->pending_probes = probe_slots.size();
+  for (auto& [vault, indices] : probe_slots) {
+    VaultOk(vault, [this, batch, indices = indices](Result<bool> ok) {
+      const bool reachable = ok.ok() && *ok;
+      for (std::size_t i : indices) {
+        if (reachable) {
+          batch->admissible[i] = true;
+        } else {
+          batch->outcomes[i].status = Status::Error(
+              ErrorCode::kRefused, "vault not reachable from this host");
+        }
+      }
+      if (--batch->pending_probes == 0) FinishBatch(batch);
+    });
+  }
+}
+
+void HostObject::FinishBatch(const std::shared_ptr<PendingBatch>& batch) {
+  const SimTime now = kernel()->Now();
+  // Issue tokens for the admissible slots and admit them in one
+  // AdmitBatch call: a single consistent snapshot in slot order, per-slot
+  // outcomes for the rest (DESIGN.md §11).  A token whose slot the table
+  // rejects is simply discarded -- its serial is burned exactly as in the
+  // unbatched GrantReservation path.
+  std::vector<ReservationTable::BatchAdmitSlot> admit;
+  std::vector<std::size_t> admit_positions;
+  for (std::size_t i = 0; i < batch->request.slots.size(); ++i) {
+    if (!batch->admissible[i]) continue;
+    const ReservationRequest& slot = batch->request.slots[i].request;
+    ReservationTable::BatchAdmitSlot entry;
+    entry.token = authority_.Issue(loid(), slot.vault,
+                                   std::max(slot.start, now), slot.duration,
+                                   slot.confirm_timeout, slot.type);
+    entry.requester = slot.requester;
+    entry.memory_mb = slot.memory_mb;
+    entry.cpu_fraction = slot.cpu_fraction;
+    admit_positions.push_back(i);
+    admit.push_back(std::move(entry));
+  }
+  const std::vector<Status> statuses = table_.AdmitBatch(admit, now);
+  for (std::size_t j = 0; j < statuses.size(); ++j) {
+    const std::size_t i = admit_positions[j];
+    batch->outcomes[i].status = statuses[j];
+    if (statuses[j].ok()) {
+      batch->outcomes[i].token = admit[j].token;
+      OnSlotGranted(admit[j].token, admit[j].cpu_fraction);
+    }
+  }
+  ReservationBatchReply reply;
+  reply.outcomes = std::move(batch->outcomes);
+  if (batch->request.batch_id != 0) {
+    RememberBatchReply(batch->request.requester.ToString() + "#" +
+                           std::to_string(batch->request.batch_id),
+                       reply);
+  }
+  batch->done(std::move(reply));
+}
+
+void HostObject::RememberBatchReply(const std::string& key,
+                                    ReservationBatchReply reply) {
+  constexpr std::size_t kMaxRememberedBatches = 256;
+  if (completed_batches_.count(key) == 0) {
+    completed_batch_order_.push_back(key);
+    if (completed_batch_order_.size() > kMaxRememberedBatches) {
+      completed_batches_.erase(completed_batch_order_.front());
+      completed_batch_order_.pop_front();
+    }
+  }
+  completed_batches_[key] = std::move(reply);
+}
+
 void HostObject::GrantReservation(const ReservationRequest& request,
                                   Callback<ReservationToken> done) {
   const SimTime now = kernel()->Now();

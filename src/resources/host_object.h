@@ -20,6 +20,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -61,6 +62,8 @@ class HostObject : public LegionObject, public HostInterface {
   // ---- HostInterface (Table 1) -------------------------------------------
   void MakeReservation(const ReservationRequest& request,
                        Callback<ReservationToken> done) override;
+  void MakeReservationBatch(const ReservationBatchRequest& request,
+                            Callback<ReservationBatchReply> done) override;
   void CheckReservation(const ReservationToken& token,
                         Callback<bool> done) override;
   void CancelReservation(const ReservationToken& token,
@@ -178,8 +181,39 @@ class HostObject : public LegionObject, public HostInterface {
   void GrantReservation(const ReservationRequest& request,
                         Callback<ReservationToken> done);
 
+  // Batch-admission subclass hooks (DESIGN.md §11).  PreAdmitSlot gives
+  // the machine-specific layer a veto over each slot before the table
+  // sees it (batch-queue hosts ask the queue to honor the window);
+  // OnSlotGranted fires for every admitted slot (batch-queue hosts
+  // register the window in the queue calendar).
+  virtual Status PreAdmitSlot(const ReservationRequest& request, SimTime now) {
+    (void)request;
+    (void)now;
+    return Status::Ok();
+  }
+  virtual void OnSlotGranted(const ReservationToken& token,
+                             double cpu_fraction) {
+    (void)token;
+    (void)cpu_fraction;
+  }
+
   void RepopulateAttributes();
   void PushToCollections();
+
+  // In-flight batch admission: outcomes accumulate while unknown vaults
+  // are probed; FinishBatch then admits every admissible slot against
+  // one table snapshot and replies.
+  struct PendingBatch {
+    ReservationBatchRequest request;
+    Callback<ReservationBatchReply> done;
+    std::vector<BatchSlotOutcome> outcomes;
+    std::vector<bool> admissible;
+    std::size_t pending_probes = 0;
+  };
+  void FinishBatch(const std::shared_ptr<PendingBatch>& batch);
+  // At-most-once admission: remembers the reply for (requester, batch_id)
+  // so a retransmitted batch (lost reply) replays instead of re-admitting.
+  void RememberBatchReply(const std::string& key, ReservationBatchReply reply);
 
   HostSpec spec_;
   TokenAuthority authority_;
@@ -190,6 +224,9 @@ class HostObject : public LegionObject, public HostInterface {
   std::vector<Loid> collections_;
   Loid impl_cache_;  // invalid = no cache wired (binaries are free)
   std::unordered_map<Loid, RunningObject> running_;
+  // Completed-batch replay cache, FIFO-bounded: keys in arrival order.
+  std::unordered_map<std::string, ReservationBatchReply> completed_batches_;
+  std::deque<std::string> completed_batch_order_;
   SimKernel::PeriodicId reassess_timer_ = 0;
   bool joined_collections_ = false;
   std::uint64_t objects_started_ = 0;

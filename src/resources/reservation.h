@@ -69,6 +69,22 @@ class ReservationTable {
   Status Admit(const ReservationToken& token, const Loid& requester,
                std::size_t memory_mb, double cpu_fraction, SimTime now);
 
+  // Atomic batch admission (DESIGN.md §11): all slots are evaluated
+  // against one consistent snapshot at `now`, in order, with each
+  // admitted slot's demand visible to its successors -- exactly the
+  // state a sequence of back-to-back Admit calls would see, so batched
+  // and unbatched negotiation grant identical sets.  Returns one Status
+  // per slot: every requested window is either durably admitted or has
+  // its failure reported; the table is never left half-updated.
+  struct BatchAdmitSlot {
+    ReservationToken token;
+    Loid requester;
+    std::size_t memory_mb = 0;
+    double cpu_fraction = 1.0;
+  };
+  std::vector<Status> AdmitBatch(const std::vector<BatchAdmitSlot>& slots,
+                                 SimTime now);
+
   // check_reservation(): true iff the token names a live (pending or
   // confirmed) reservation whose window has not passed.
   bool Check(const ReservationToken& token, SimTime now);

@@ -25,8 +25,8 @@ std::optional<DomainId> NetworkModel::DomainOf(const Loid& loid) const {
   return it->second;
 }
 
-Duration NetworkModel::ExpectedLatency(const Loid& from, const Loid& to,
-                                       std::size_t bytes) const {
+Duration NetworkModel::HealthyPathLatency(const Loid& from, const Loid& to,
+                                          std::size_t bytes) const {
   auto from_it = endpoints_.find(from);
   auto to_it = endpoints_.find(to);
   if (from_it == endpoints_.end() || to_it == endpoints_.end() ||
@@ -48,6 +48,20 @@ Duration NetworkModel::ExpectedLatency(const Loid& from, const Loid& to,
                                   std::max(bandwidth, 1.0));
 }
 
+std::optional<Duration> NetworkModel::ExpectedLatency(const Loid& from,
+                                                      const Loid& to,
+                                                      std::size_t bytes,
+                                                      SimTime at) const {
+  auto from_it = endpoints_.find(from);
+  auto to_it = endpoints_.find(to);
+  if (from_it != endpoints_.end() && to_it != endpoints_.end() &&
+      from_it->second != to_it->second &&
+      Partitioned(from_it->second, to_it->second, at)) {
+    return std::nullopt;
+  }
+  return HealthyPathLatency(from, to, bytes);
+}
+
 void NetworkModel::SetPairLatency(DomainId a, DomainId b, Duration latency) {
   pair_latency_[PairKey(a, b)] = latency;
 }
@@ -67,15 +81,17 @@ bool NetworkModel::Partitioned(DomainId a, DomainId b, SimTime now) const {
 
 std::optional<Duration> NetworkModel::Latency(const Loid& from, const Loid& to,
                                               std::size_t bytes, SimTime now) {
-  ++offered_;
   auto from_it = endpoints_.find(from);
   auto to_it = endpoints_.find(to);
   // Unregistered endpoints (unit tests, co-located services) and
-  // self-sends are local: free and lossless.
+  // self-sends are local: free and lossless.  They never touch the wire,
+  // so they do not count as offered traffic -- counting them would
+  // dilute the loss-rate denominator (messages_lost/messages_offered).
   if (from_it == endpoints_.end() || to_it == endpoints_.end() ||
       from == to) {
     return Duration::Zero();
   }
+  ++offered_;
   DomainId da = from_it->second;
   DomainId db = to_it->second;
   bool cross = da != db;
@@ -106,7 +122,18 @@ std::optional<Duration> NetworkModel::Latency(const Loid& from, const Loid& to,
     jitter = base * rng_.Uniform(-params_.jitter_fraction,
                                  params_.jitter_fraction);
   }
-  Duration total = base + transfer + jitter;
+  Duration queue_delay = Duration::Zero();
+  if (params_.serialize_uplink) {
+    // The sender's uplink is a FIFO: this message starts draining when
+    // the previous ones finish, and occupies the link for its transfer
+    // time.  Concurrent bursts from one endpoint therefore pay for each
+    // other -- the cost batching exists to amortize.
+    SimTime& uplink_free = uplink_free_[from];
+    const SimTime depart = std::max(uplink_free, now);
+    queue_delay = depart - now;
+    uplink_free = depart + transfer;
+  }
+  Duration total = queue_delay + transfer + base + jitter;
   if (total < Duration::Zero()) total = Duration::Zero();
   return total;
 }

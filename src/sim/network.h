@@ -41,6 +41,12 @@ struct NetworkParams {
   double intra_domain_loss = 0.0;             // message loss probability
   double inter_domain_loss = 0.0;
   std::uint64_t seed = 12345;
+  // Sender-side link contention (GridSim-style): messages leaving one
+  // endpoint share its uplink, so a burst of concurrent sends queues
+  // behind each other's transfer time instead of departing in parallel
+  // for free.  Off by default -- the historical model delivers
+  // concurrent sends independently.
+  bool serialize_uplink = false;
 };
 
 class NetworkModel {
@@ -62,14 +68,23 @@ class NetworkModel {
   // Computes the delivery latency for `bytes` from `from` to `to` at time
   // `now`, or nullopt if the message is lost (loss or partition).  A
   // message between unregistered endpoints, or an endpoint to itself, is
-  // treated as local and free.
+  // treated as local and free (and not counted as wire traffic).
   std::optional<Duration> Latency(const Loid& from, const Loid& to,
                                   std::size_t bytes, SimTime now);
 
-  // Deterministic expected delivery latency (no jitter, no loss, no
-  // counters); used by analytic models such as the workload executor.
-  Duration ExpectedLatency(const Loid& from, const Loid& to,
-                           std::size_t bytes) const;
+  // Deterministic expected delivery latency at time `at` (no jitter, no
+  // loss draw, no counters, no uplink queueing); used by rankers and
+  // analytic models.  Partition-aware, unlike the healthy-path variant
+  // below: a pair partitioned at `at` has no expected latency, so
+  // callers cannot score an unreachable host by its healthy-path ETA.
+  std::optional<Duration> ExpectedLatency(const Loid& from, const Loid& to,
+                                          std::size_t bytes, SimTime at) const;
+
+  // Healthy-path estimate ignoring transient partitions: long-horizon
+  // analytics (e.g. the workload executor's makespan model) where any
+  // partition active right now will have healed.
+  Duration HealthyPathLatency(const Loid& from, const Loid& to,
+                              std::size_t bytes) const;
 
   const NetworkParams& params() const { return params_; }
 
@@ -94,6 +109,9 @@ class NetworkModel {
   std::unordered_map<Loid, DomainId> endpoints_;
   std::unordered_map<std::uint64_t, Duration> pair_latency_;
   std::vector<Partition> partitions_;
+  // Per-sender uplink FIFO (serialize_uplink): when this endpoint's
+  // previous transfers finish draining onto the wire.
+  std::unordered_map<Loid, SimTime> uplink_free_;
   std::uint64_t offered_ = 0;
   std::uint64_t lost_ = 0;
   std::uint64_t partitioned_ = 0;

@@ -51,8 +51,10 @@ MakespanBreakdown EstimateMakespan(SimKernel& kernel,
     const Loid& from = instance_hosts[edge.from];
     const Loid& to = instance_hosts[edge.to];
     if (from == to) continue;  // same host: shared memory
+    // Healthy-path estimate: this models hours of iterations, over which
+    // any partition active at submit time will have healed.
     const Duration latency =
-        kernel.network().ExpectedLatency(from, to, edge.bytes);
+        kernel.network().HealthyPathLatency(from, to, edge.bytes);
     const double seconds = latency.seconds();
     comm_s[edge.from] += seconds;
     comm_s[edge.to] += seconds;

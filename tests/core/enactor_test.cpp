@@ -269,6 +269,89 @@ TEST_F(EnactorTest, UnknownHostCountsAsFailure) {
   EXPECT_FALSE(feedback.success);
 }
 
+// ---- The batched pipeline (DESIGN.md §11) -----------------------------------
+
+TEST_F(EnactorTest, BatchingGroupsRequestsByHost) {
+  // 8 mappings over 4 hosts with a generous cap: one ReserveBatch RPC
+  // per host, all slots granted.
+  world_.enactor->options().max_batch_size = 8;
+  ScheduleRequestList request;
+  MasterSchedule master;
+  for (std::size_t i = 0; i < 8; ++i) master.mappings.push_back(MappingTo(i % 4));
+  request.masters.push_back(master);
+
+  ScheduleFeedback feedback = Negotiate(request);
+  ASSERT_TRUE(feedback.success);
+  EXPECT_EQ(world_.enactor->stats().batches_sent, 4u);
+  EXPECT_EQ(world_.enactor->stats().batched_slots, 8u);
+  EXPECT_EQ(world_.enactor->stats().reservations_granted, 8u);
+  EXPECT_EQ(world_.enactor->stats().reservations_requested, 8u);
+}
+
+TEST_F(EnactorTest, BatchingChunksAtTheCap) {
+  // 5 same-host mappings with cap 2: chunks of 2 + 2 + 1.
+  world_.enactor->options().max_batch_size = 2;
+  ScheduleRequestList request;
+  MasterSchedule master;
+  for (std::size_t i = 0; i < 5; ++i) master.mappings.push_back(MappingTo(0));
+  request.masters.push_back(master);
+
+  ScheduleFeedback feedback = Negotiate(request);
+  ASSERT_TRUE(feedback.success);
+  EXPECT_EQ(world_.enactor->stats().batches_sent, 3u);
+  EXPECT_EQ(world_.enactor->stats().batched_slots, 5u);
+}
+
+TEST_F(EnactorTest, BackpressureParksOverflowAndStillSucceeds) {
+  // Cap 2 keeps the batched path (1 is the legacy per-mapping path);
+  // four single-slot host groups against a window of one in-flight batch.
+  world_.enactor->options().max_batch_size = 2;
+  world_.enactor->options().max_outstanding_batches = 1;
+  ScheduleRequestList request;
+  MasterSchedule master;
+  for (std::size_t i = 0; i < 4; ++i) master.mappings.push_back(MappingTo(i));
+  request.masters.push_back(master);
+
+  ScheduleFeedback feedback = Negotiate(request);
+  ASSERT_TRUE(feedback.success);
+  ASSERT_EQ(feedback.tokens.size(), 4u);
+  // Only one batch may be in flight: the other three parked first.
+  EXPECT_EQ(world_.enactor->stats().requests_parked, 3u);
+  EXPECT_EQ(world_.enactor->stats().batches_sent, 4u);
+}
+
+TEST_F(EnactorTest, PartialBatchFailureFeedsVariantMachinery) {
+  // Nine 1.0-cpu mappings against host 0's 8 units: one ReserveBatch
+  // grants eight slots and refuses the ninth; the variant moves it.
+  ScheduleRequestList request;
+  MasterSchedule master;
+  for (std::size_t i = 0; i < 9; ++i) master.mappings.push_back(MappingTo(0));
+  master.variants.push_back(Variant(9, {{8, 1}}));
+  request.masters.push_back(master);
+
+  ScheduleFeedback feedback = Negotiate(request);
+  ASSERT_TRUE(feedback.success);
+  EXPECT_EQ(feedback.reserved_mappings[8].host, world_.hosts[1]->loid());
+  EXPECT_EQ(world_.enactor->stats().reservations_granted, 9u);
+  EXPECT_EQ(world_.enactor->stats().reservations_failed, 1u);
+  // Round 1: one batch of 9 to host 0.  Round 2: one batch of 1 to
+  // host 1.  No thrashing.
+  EXPECT_EQ(world_.enactor->stats().batches_sent, 2u);
+  EXPECT_EQ(world_.enactor->stats().rereservations, 0u);
+}
+
+TEST_F(EnactorTest, FailedIndicesReportedOnTotalFailure) {
+  for (std::size_t i = 0; i < world_.hosts.size(); ++i) BlockHost(i);
+  ScheduleRequestList request;
+  MasterSchedule master;
+  master.mappings = {MappingTo(0), MappingTo(1), MappingTo(2)};
+  request.masters.push_back(master);
+
+  ScheduleFeedback feedback = Negotiate(request);
+  ASSERT_FALSE(feedback.success);
+  EXPECT_EQ(feedback.failed_indices, (std::vector<std::size_t>{0, 1, 2}));
+}
+
 class CoAllocationTest : public ::testing::Test {
  protected:
   CoAllocationTest()

@@ -80,12 +80,15 @@ TEST(TraceCausality, ReservationRpcLinksBackToScheduleRoot) {
     }
   }
 
-  // At least one per-host reservation RPC must chain, via parent links,
-  // through the batched make_reservations RPC up to the scheduler's
-  // schedule_and_enact root.
+  // At least one per-host reservation RPC (per-mapping make_reservation,
+  // or the coalesced reserve_batch when batching is on) must chain, via
+  // parent links, through the make_reservations RPC up to the
+  // scheduler's schedule_and_enact root.
   bool found_chain = false;
   for (const auto& [span, info] : spans) {
-    if (info.name != "make_reservation") continue;
+    if (info.name != "make_reservation" && info.name != "reserve_batch") {
+      continue;
+    }
     std::vector<std::string> ancestry;
     obs::SpanId cursor = info.parent;
     for (int hops = 0; cursor != obs::kNoSpan && hops < 32; ++hops) {

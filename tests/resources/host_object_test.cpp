@@ -179,6 +179,121 @@ TEST_F(HostObjectTest, CapacityExhaustionRefusesReservations) {
   EXPECT_EQ(overflow.Get().code(), ErrorCode::kNoResources);
 }
 
+// ---- Batched reservations ---------------------------------------------------
+
+TEST_F(HostObjectTest, BatchGrantsAllSlots) {
+  ReservationBatchRequest batch;
+  batch.requester = Loid(LoidSpace::kService, 0, 77);
+  batch.batch_id = 1;
+  for (std::size_t i = 0; i < 4; ++i) {
+    batch.slots.push_back(BatchSlotRequest{i, Request()});
+  }
+  Await<ReservationBatchReply> reply;
+  host_->MakeReservationBatch(batch, reply.Sink());
+  ASSERT_TRUE(reply.Ready());
+  ASSERT_TRUE(reply.Get().ok());
+  ASSERT_EQ(reply.Get()->outcomes.size(), 4u);
+  for (const BatchSlotOutcome& outcome : reply.Get()->outcomes) {
+    EXPECT_TRUE(outcome.status.ok());
+    EXPECT_EQ(outcome.token.host, host_->loid());
+    EXPECT_TRUE(host_->mutable_reservations().Check(outcome.token,
+                                                    world_.kernel.Now()));
+  }
+  EXPECT_EQ(host_->reservations().live_count(), 4u);
+}
+
+TEST_F(HostObjectTest, BatchReportsPerSlotFailures) {
+  // Slot 1 names no vault, slot 3 overflows capacity (8 cpu units, four
+  // 1.0-cpu grants before it plus its own demand of 6).  The good slots
+  // still land: per-slot failure, not all-or-nothing.
+  ReservationBatchRequest batch;
+  batch.requester = Loid(LoidSpace::kService, 0, 77);
+  batch.batch_id = 2;
+  ReservationRequest bad_vault = Request();
+  bad_vault.vault = Loid();
+  ReservationRequest hog = Request();
+  hog.cpu_fraction = 6.0;
+  batch.slots.push_back(BatchSlotRequest{0, Request()});
+  batch.slots.push_back(BatchSlotRequest{1, bad_vault});
+  batch.slots.push_back(BatchSlotRequest{2, Request()});
+  batch.slots.push_back(BatchSlotRequest{3, hog});
+  batch.slots.push_back(BatchSlotRequest{4, hog});
+  Await<ReservationBatchReply> reply;
+  host_->MakeReservationBatch(batch, reply.Sink());
+  ASSERT_TRUE(reply.Ready());
+  ASSERT_TRUE(reply.Get().ok());
+  const auto& outcomes = reply.Get()->outcomes;
+  ASSERT_EQ(outcomes.size(), 5u);
+  EXPECT_TRUE(outcomes[0].status.ok());
+  EXPECT_EQ(outcomes[1].status.code(), ErrorCode::kInvalidArgument);
+  EXPECT_TRUE(outcomes[2].status.ok());
+  EXPECT_TRUE(outcomes[3].status.ok());  // 1+1+6 = 8 units: fits exactly
+  EXPECT_EQ(outcomes[4].status.code(), ErrorCode::kNoResources);
+  EXPECT_EQ(host_->reservations().live_count(), 3u);
+}
+
+TEST_F(HostObjectTest, BatchRetransmissionReplaysCachedReply) {
+  // At-most-once: resending the same batch_id returns the cached reply
+  // -- identical tokens -- without admitting anything twice.
+  ReservationBatchRequest batch;
+  batch.requester = Loid(LoidSpace::kService, 0, 77);
+  batch.batch_id = 7;
+  for (std::size_t i = 0; i < 3; ++i) {
+    batch.slots.push_back(BatchSlotRequest{i, Request()});
+  }
+  Await<ReservationBatchReply> first;
+  host_->MakeReservationBatch(batch, first.Sink());
+  ASSERT_TRUE(first.Get().ok());
+  const std::size_t admitted = host_->reservations().admitted();
+  const std::size_t live = host_->reservations().live_count();
+
+  Await<ReservationBatchReply> second;
+  host_->MakeReservationBatch(batch, second.Sink());
+  ASSERT_TRUE(second.Get().ok());
+  ASSERT_EQ(second.Get()->outcomes.size(), first.Get()->outcomes.size());
+  for (std::size_t i = 0; i < first.Get()->outcomes.size(); ++i) {
+    EXPECT_EQ(second.Get()->outcomes[i].token.ToString(),
+              first.Get()->outcomes[i].token.ToString());
+  }
+  EXPECT_EQ(host_->reservations().admitted(), admitted);
+  EXPECT_EQ(host_->reservations().live_count(), live);
+}
+
+TEST_F(HostObjectTest, BatchHonorsLocalPolicyPerSlot) {
+  host_->SetPolicy(std::make_unique<DomainRefusalPolicy>(
+      std::vector<std::uint32_t>{3}));
+  ReservationBatchRequest batch;
+  batch.requester = Loid(LoidSpace::kService, 0, 77);
+  ReservationRequest foreign = Request();
+  foreign.requester_domain = 3;
+  batch.slots.push_back(BatchSlotRequest{0, Request()});
+  batch.slots.push_back(BatchSlotRequest{1, foreign});
+  Await<ReservationBatchReply> reply;
+  host_->MakeReservationBatch(batch, reply.Sink());
+  ASSERT_TRUE(reply.Get().ok());
+  EXPECT_TRUE(reply.Get()->outcomes[0].status.ok());
+  EXPECT_EQ(reply.Get()->outcomes[1].status.code(), ErrorCode::kRefused);
+}
+
+TEST_F(HostObjectTest, BatchProbesUnlistedVaultOnce) {
+  // Two slots naming the same unlisted vault share one vault_OK probe,
+  // and the batch reply waits for it.
+  ReservationBatchRequest batch;
+  batch.requester = Loid(LoidSpace::kService, 0, 77);
+  ReservationRequest other = Request();
+  other.vault = world_.vaults[1]->loid();  // not in host0's list
+  batch.slots.push_back(BatchSlotRequest{0, other});
+  batch.slots.push_back(BatchSlotRequest{1, other});
+  Await<ReservationBatchReply> reply;
+  host_->MakeReservationBatch(batch, reply.Sink());
+  EXPECT_FALSE(reply.Ready());  // probe in flight
+  world_.Run();
+  ASSERT_TRUE(reply.Ready());
+  ASSERT_TRUE(reply.Get().ok());
+  EXPECT_TRUE(reply.Get()->outcomes[0].status.ok());
+  EXPECT_TRUE(reply.Get()->outcomes[1].status.ok());
+}
+
 // ---- Process management -----------------------------------------------------------
 
 TEST_F(HostObjectTest, StartObjectWithReservation) {

@@ -129,11 +129,43 @@ TEST(NetworkTest, ExpectedLatencyIsDeterministic) {
   NetworkModel net(params);
   net.RegisterEndpoint(Endpoint(1), 0);
   net.RegisterEndpoint(Endpoint(2), 1);
-  const Duration first = net.ExpectedLatency(Endpoint(1), Endpoint(2), 1024);
+  const auto first =
+      net.ExpectedLatency(Endpoint(1), Endpoint(2), 1024, SimTime::Zero());
+  ASSERT_TRUE(first.has_value());
   for (int i = 0; i < 10; ++i) {
-    EXPECT_EQ(net.ExpectedLatency(Endpoint(1), Endpoint(2), 1024), first);
+    EXPECT_EQ(
+        net.ExpectedLatency(Endpoint(1), Endpoint(2), 1024, SimTime::Zero()),
+        first);
   }
-  EXPECT_GT(first, Duration::Millis(29));
+  EXPECT_GT(*first, Duration::Millis(29));
+}
+
+// Regression: ExpectedLatency used to ignore partitions entirely, so a
+// ranker could score a host by its healthy-path ETA while the pair was
+// unreachable.  It must agree with Latency's partition window.
+TEST(NetworkTest, ExpectedLatencyHonorsPartitions) {
+  NetworkModel net(QuietParams());
+  net.RegisterEndpoint(Endpoint(1), 0);
+  net.RegisterEndpoint(Endpoint(2), 1);
+  net.AddPartition(0, 1, SimTime(1000), SimTime(2000));
+  EXPECT_TRUE(
+      net.ExpectedLatency(Endpoint(1), Endpoint(2), 0, SimTime(999))
+          .has_value());
+  EXPECT_FALSE(
+      net.ExpectedLatency(Endpoint(1), Endpoint(2), 0, SimTime(1000))
+          .has_value());
+  EXPECT_FALSE(
+      net.ExpectedLatency(Endpoint(2), Endpoint(1), 0, SimTime(1500))
+          .has_value());
+  EXPECT_TRUE(
+      net.ExpectedLatency(Endpoint(1), Endpoint(2), 0, SimTime(2000))
+          .has_value());
+  // The healthy-path variant deliberately ignores the window, and the
+  // estimate itself is unaffected: no counters, no loss draw.
+  EXPECT_EQ(net.HealthyPathLatency(Endpoint(1), Endpoint(2), 0),
+            Duration::Millis(30));
+  EXPECT_EQ(net.messages_offered(), 0u);
+  EXPECT_EQ(net.messages_partitioned(), 0u);
 }
 
 TEST(NetworkTest, OfferedCounterCounts) {
@@ -144,6 +176,66 @@ TEST(NetworkTest, OfferedCounterCounts) {
     net.Latency(Endpoint(1), Endpoint(2), 0, SimTime::Zero());
   }
   EXPECT_EQ(net.messages_offered(), 5u);
+}
+
+// Regression: offered_ used to increment before the local/self-send
+// early-out, so loss rate (lost/offered) was diluted by traffic that
+// never touched the wire.
+TEST(NetworkTest, LocalTrafficIsNotOffered) {
+  NetworkModel net(QuietParams());
+  net.RegisterEndpoint(Endpoint(1), 0);
+  // Unregistered peer: local, free, not wire traffic.
+  net.Latency(Endpoint(1), Endpoint(99), 100, SimTime::Zero());
+  net.Latency(Endpoint(98), Endpoint(1), 100, SimTime::Zero());
+  // Self-send: also local.
+  net.Latency(Endpoint(1), Endpoint(1), 100, SimTime::Zero());
+  EXPECT_EQ(net.messages_offered(), 0u);
+  // A real wire message still counts.
+  net.RegisterEndpoint(Endpoint(2), 1);
+  net.Latency(Endpoint(1), Endpoint(2), 100, SimTime::Zero());
+  EXPECT_EQ(net.messages_offered(), 1u);
+}
+
+TEST(NetworkTest, UplinkSerializationQueuesSameSenderBursts) {
+  NetworkParams params = QuietParams();
+  params.serialize_uplink = true;
+  params.intra_domain_bandwidth_bps = 8e6;  // 1 MB/s
+  NetworkModel net(params);
+  net.RegisterEndpoint(Endpoint(1), 0);
+  net.RegisterEndpoint(Endpoint(2), 0);
+  net.RegisterEndpoint(Endpoint(3), 0);
+  const std::size_t megabyte = 1 << 20;
+  // Two messages leave Endpoint(1) at t=0: the second queues behind the
+  // first's ~1s transfer.
+  auto first = net.Latency(Endpoint(1), Endpoint(2), megabyte, SimTime::Zero());
+  auto second =
+      net.Latency(Endpoint(1), Endpoint(2), megabyte, SimTime::Zero());
+  ASSERT_TRUE(first && second);
+  EXPECT_NEAR((*second - *first).seconds(), 1.05, 0.05);
+  // A different sender's uplink is idle: no queueing.
+  auto other = net.Latency(Endpoint(3), Endpoint(2), megabyte, SimTime::Zero());
+  ASSERT_TRUE(other.has_value());
+  EXPECT_EQ(*other, *first);
+  // After the uplink drains, a later send from Endpoint(1) pays no queue
+  // delay either.
+  auto later = net.Latency(Endpoint(1), Endpoint(2), megabyte,
+                           SimTime::Zero() + Duration::Seconds(10));
+  ASSERT_TRUE(later.has_value());
+  EXPECT_EQ(*later, *first);
+}
+
+TEST(NetworkTest, UplinkSerializationOffByDefault) {
+  NetworkParams params = QuietParams();
+  params.intra_domain_bandwidth_bps = 8e6;
+  NetworkModel net(params);
+  net.RegisterEndpoint(Endpoint(1), 0);
+  net.RegisterEndpoint(Endpoint(2), 0);
+  const std::size_t megabyte = 1 << 20;
+  auto first = net.Latency(Endpoint(1), Endpoint(2), megabyte, SimTime::Zero());
+  auto second =
+      net.Latency(Endpoint(1), Endpoint(2), megabyte, SimTime::Zero());
+  ASSERT_TRUE(first && second);
+  EXPECT_EQ(*first, *second);
 }
 
 }  // namespace
