@@ -32,17 +32,6 @@ struct EnactorObject::Negotiation {
   ErrorCode last_code = ErrorCode::kNoResources;
   std::string last_error;
   bool finished = false;
-  // At-most-once ids for the batch pipeline: one per (host, slot set)
-  // this negotiation has sent.  A whole-batch timeout retransmits the
-  // identical set under the same id so the host can deduplicate; a
-  // variant that replaces a slot's mapping invalidates any id covering
-  // that slot (the retransmission would no longer be identical).
-  struct BatchKey {
-    Loid host;
-    std::vector<std::size_t> indices;
-    std::uint64_t id = 0;
-  };
-  std::vector<BatchKey> batch_keys;
   // When one host's group splits into several chunks, the trailing
   // chunks wait here for the leading chunk's reply: a smaller trailing
   // chunk is a smaller message and would otherwise overtake the bigger
@@ -76,17 +65,6 @@ struct EnactorObject::Negotiation {
       return indices;
     }
     return std::nullopt;
-  }
-
-  void InvalidateBatchKeys(std::size_t index) {
-    batch_keys.erase(
-        std::remove_if(batch_keys.begin(), batch_keys.end(),
-                       [index](const BatchKey& key) {
-                         return std::find(key.indices.begin(),
-                                          key.indices.end(),
-                                          index) != key.indices.end();
-                       }),
-        batch_keys.end());
   }
 };
 
@@ -211,7 +189,6 @@ void EnactorObject::StartMaster(const std::shared_ptr<Negotiation>& n) {
   n->attempts.assign(master.mappings.size(), 0);
   n->applied_variants.clear();
   n->next_variant = 0;
-  n->batch_keys.clear();  // a new master's indices mean new mappings
   n->chunk_queues.clear();
   RequestMissing(n);
 }
@@ -289,21 +266,10 @@ void EnactorObject::EnqueueBatch(const std::shared_ptr<Negotiation>& n,
   batch.negotiation = n;
   batch.host = host;
   batch.indices = std::move(indices);
-  // At-most-once id: an identical (host, slot set) retransmission reuses
-  // its id so the host replays the recorded reply instead of admitting
-  // the windows twice.
-  auto it = std::find_if(n->batch_keys.begin(), n->batch_keys.end(),
-                         [&](const Negotiation::BatchKey& key) {
-                           return key.host == batch.host &&
-                                  key.indices == batch.indices;
-                         });
-  if (it != n->batch_keys.end()) {
-    batch.id = it->id;
-  } else {
-    batch.id = next_batch_id_++;
-    n->batch_keys.push_back(
-        Negotiation::BatchKey{batch.host, batch.indices, batch.id});
-  }
+  batch.wanted = batch.indices;
+  // At-most-once id, minted once per batch: retransmissions reuse the
+  // whole Batch (OnBatchReply's retry path), never pass through here.
+  batch.id = next_batch_id_++;
   DispatchBatch(std::move(batch));
 }
 
@@ -312,13 +278,13 @@ void EnactorObject::DispatchBatch(Batch batch) {
       outstanding_batches_ >= options_.max_outstanding_batches) {
     // Backpressure: park instead of flooding the event queue; the slots
     // stay accounted in the negotiation's outstanding set.
-    cells_.requests_parked->Add(batch.indices.size());
+    cells_.requests_parked->Add(batch.wanted.size());
     if (kernel()->trace().enabled()) {
       kernel()->trace().Instant(
           kernel()->Now(), "batch_parked", "enactor",
           kernel()->trace().current(),
           {{"host", batch.host.ToString()},
-           {"slots", std::to_string(batch.indices.size())}});
+           {"slots", std::to_string(batch.wanted.size())}});
     }
     parked_.push_back(std::move(batch));
     return;
@@ -341,7 +307,7 @@ void EnactorObject::SendBatch(Batch batch) {
   if (n->finished) return;  // parked past its negotiation's end
   // The breaker may have opened while the batch waited for a slot.
   if (options_.use_health && !health_.Healthy(batch.host)) {
-    for (std::size_t index : batch.indices) FailIndexFast(n, index);
+    for (std::size_t index : batch.wanted) FailIndexFast(n, index);
     DispatchNextChunk(n, batch.host);  // no reply will come to trigger it
     return;
   }
@@ -349,11 +315,9 @@ void EnactorObject::SendBatch(Batch batch) {
     cells_.breaker_probes->Add();
   }
 
-  ReservationBatchRequest request;
-  request.requester = loid();
-  request.batch_id = batch.id;
-  request.slots.reserve(batch.indices.size());
-  for (std::size_t index : batch.indices) {
+  // Per-attempt accounting for the slots still negotiating, exactly as
+  // the unbatched path counts each ReserveIndex invocation.
+  for (std::size_t index : batch.wanted) {
     const ObjectMapping& mapping = n->current[index];
     // Thrash metric, per slot, exactly as on the unbatched path.
     const auto& history = n->cancelled_history[index];
@@ -367,19 +331,36 @@ void EnactorObject::SendBatch(Batch batch) {
       }
     }
     cells_.reservations_requested->Add();
-    BatchSlotRequest slot;
-    slot.index = index;
-    slot.request.vault = mapping.vault;
-    slot.request.start = kernel()->Now() + options_.reservation_start_offset;
-    slot.request.duration = options_.reservation_duration;
-    slot.request.confirm_timeout = options_.confirm_timeout;
-    slot.request.type = options_.reservation_type;
-    slot.request.requester = loid();
-    slot.request.requester_domain = loid().domain();
-    LookupDemand(mapping.class_loid, &slot.request.memory_mb,
-                 &slot.request.cpu_fraction);
-    request.slots.push_back(std::move(slot));
   }
+
+  // Freeze the wire payload on first send.  A retransmission reuses it
+  // verbatim -- same id, same full slot set -- so the host can dedup by
+  // id no matter which subset of slots is still wanted, and the message
+  // costs the same bytes both times.
+  if (batch.request == nullptr) {
+    auto request = std::make_shared<ReservationBatchRequest>();
+    request->requester = loid();
+    request->batch_id = batch.id;
+    request->slots.reserve(batch.indices.size());
+    for (std::size_t index : batch.indices) {
+      const ObjectMapping& mapping = n->current[index];
+      BatchSlotRequest slot;
+      slot.index = index;
+      slot.request.vault = mapping.vault;
+      slot.request.start = kernel()->Now() + options_.reservation_start_offset;
+      slot.request.duration = options_.reservation_duration;
+      slot.request.confirm_timeout = options_.confirm_timeout;
+      slot.request.type = options_.reservation_type;
+      slot.request.requester = loid();
+      slot.request.requester_domain = loid().domain();
+      LookupDemand(mapping.class_loid, &slot.request.memory_mb,
+                   &slot.request.cpu_fraction);
+      request->slots.push_back(std::move(slot));
+    }
+    batch.request = std::move(request);
+  }
+  ReservationBatchRequest request = *batch.request;
+  request.retransmit = batch.retransmit;
 
   ++outstanding_batches_;
   cells_.batches_sent->Add();
@@ -425,11 +406,13 @@ void EnactorObject::OnBatchReply(const Batch& batch,
 
   if (result.ok()) {
     // The host answered: per-slot outcomes, per-slot health bookkeeping.
+    // Only the wanted slots feed the negotiation; the rest of the wire
+    // set (slots abandoned between transmissions) is settled already.
     std::unordered_map<std::size_t, const BatchSlotOutcome*> by_index;
     for (const BatchSlotOutcome& outcome : result->outcomes) {
       by_index[outcome.index] = &outcome;
     }
-    for (std::size_t index : batch.indices) {
+    for (std::size_t index : batch.wanted) {
       ++completed;
       auto it = by_index.find(index);
       if (it == by_index.end()) {
@@ -461,13 +444,31 @@ void EnactorObject::OnBatchReply(const Batch& batch,
              {"index", std::to_string(index)}});
       }
     }
+    // A retransmission may carry slots the negotiation abandoned after
+    // the original send (retry budget exhausted, possibly re-aimed by a
+    // variant since).  A grant for such a slot is a stray hold nobody
+    // will redeem: release it instead of letting it pin capacity until
+    // expiry.
+    if (batch.wanted.size() != batch.indices.size()) {
+      for (std::size_t index : batch.indices) {
+        if (std::find(batch.wanted.begin(), batch.wanted.end(), index) !=
+            batch.wanted.end()) {
+          continue;
+        }
+        auto it = by_index.find(index);
+        if (it != by_index.end() && it->second->status.ok()) {
+          cells_.reservations_cancelled->Add();
+          CancelToken(it->second->token);
+        }
+      }
+    }
   } else {
-    // The whole RPC failed (timeout, unreachable host): every slot
-    // shares the outcome, with the same per-slot health and retry
+    // The whole RPC failed (timeout, unreachable host): every wanted
+    // slot shares the outcome, with the same per-slot health and retry
     // granularity as N concurrent unbatched RPCs would have had.
     const ErrorCode code = result.status().code();
     std::vector<std::size_t> retryable;
-    for (std::size_t index : batch.indices) {
+    for (std::size_t index : batch.wanted) {
       if (options_.use_health && (code == ErrorCode::kTimeout ||
                                   code == ErrorCode::kUnavailable)) {
         health_.RecordFailure(target);
@@ -488,8 +489,11 @@ void EnactorObject::OnBatchReply(const Batch& batch,
     if (!retryable.empty()) {
       // One backoff delay for the retransmission, budgeted by the
       // most-retried slot.  The retried slots keep their outstanding
-      // accounting; EnqueueBatch reuses the batch id iff the slot set is
-      // unchanged, making the retransmission dedupable at the host.
+      // accounting.  The retransmission is the ORIGINAL batch -- same
+      // id, same frozen full slot set -- narrowed to the retryable
+      // subset via `wanted`, so the host can always replay-dedup even
+      // when some slots ran out of retry budget; a fresh id for the
+      // smaller set would make a lost-reply batch double-admit.
       int attempt = 0;
       for (std::size_t index : retryable) {
         attempt = std::max(attempt, n->attempts[index]);
@@ -503,19 +507,22 @@ void EnactorObject::OnBatchReply(const Batch& batch,
              {"slots", std::to_string(retryable.size())},
              {"delay", delay.ToString()}});
       }
-      kernel()->ScheduleAfter(
-          delay, [this, n, host = target, retryable = std::move(retryable)] {
-            if (n->finished) return;
-            EnqueueBatch(n, host, retryable);
-          });
+      Batch retry = batch;
+      retry.wanted = std::move(retryable);
+      retry.retransmit = true;
+      kernel()->ScheduleAfter(delay, [this, retry = std::move(retry)] {
+        if (retry.negotiation->finished) return;
+        DispatchBatch(retry);
+      });
     }
   }
 
-  // This chunk's fate is settled (every slot granted, failed, or owned by
-  // a scheduled retransmission that will re-enter here); release the
-  // host's next in-order chunk, if any.  Retransmissions keep their
-  // successor waiting so the host still sees the round in mapping order.
-  if (result.ok() || completed == batch.indices.size()) {
+  // This chunk's fate is settled (every wanted slot granted, failed, or
+  // owned by a scheduled retransmission that will re-enter here);
+  // release the host's next in-order chunk, if any.  Retransmissions
+  // keep their successor waiting so the host still sees the round in
+  // mapping order.
+  if (result.ok() || completed == batch.wanted.size()) {
     DispatchNextChunk(n, target);
   }
   n->outstanding -= completed;
@@ -661,6 +668,10 @@ void EnactorObject::CancelHeld(const std::shared_ptr<Negotiation>& n,
   n->cancelled_history[index].push_back(n->current[index]);
   n->tokens[index].reset();
   cells_.reservations_cancelled->Add();
+  CancelToken(token);
+}
+
+void EnactorObject::CancelToken(const ReservationToken& token) {
   CallOn<bool, HostInterface>(
       kernel(), loid(), token.host, kSmallMessage, kSmallMessage,
       options_.rpc_timeout,
@@ -713,8 +724,6 @@ void EnactorObject::OnRoundComplete(const std::shared_ptr<Negotiation>& n) {
         CancelHeld(n, index);
         n->current[index] = mapping;
         n->attempts[index] = 0;  // new mapping, fresh retry budget
-        // A batch covering this slot is no longer retransmittable as-is.
-        n->InvalidateBatchKeys(index);
       }
     }
     n->next_variant = chosen.back() + 1;
@@ -732,7 +741,6 @@ void EnactorObject::OnRoundComplete(const std::shared_ptr<Negotiation>& n) {
   n->applied_variants.push_back(v);
   n->current = master.WithVariant(v);
   n->attempts.assign(n->current.size(), 0);
-  n->batch_keys.clear();  // wholesale replacement invalidates every set
   RequestMissing(n);
 }
 

@@ -153,21 +153,33 @@ class EnactorObject : public LegionObject {
 
   // One ReserveBatch unit of work: a chunk of a round's indices bound
   // for one host.  Lives in the parked queue under backpressure.
+  //
+  // At-most-once retransmission: the wire payload (`request`) is frozen
+  // at first send and a timeout resends it verbatim -- same id, same
+  // full slot set -- so the host can always replay-dedup, even when only
+  // a subset of the slots is still worth retrying.  `wanted` tracks that
+  // subset (== `indices` on first send); replies for slots no longer
+  // wanted are ignored, except that stray grants are cancelled.
   struct Batch {
     std::shared_ptr<Negotiation> negotiation;
     Loid host;
-    std::vector<std::size_t> indices;
+    std::vector<std::size_t> indices;  // slots in the wire request
+    std::vector<std::size_t> wanted;   // subset still negotiating
     std::uint64_t id = 0;
+    bool retransmit = false;
+    // Frozen at first send; reused verbatim by retransmissions.
+    std::shared_ptr<const ReservationBatchRequest> request;
   };
 
   void StartMaster(const std::shared_ptr<Negotiation>& n);
   void RequestMissing(const std::shared_ptr<Negotiation>& n);
   void ReserveIndex(const std::shared_ptr<Negotiation>& n, std::size_t index);
   void FailIndexFast(const std::shared_ptr<Negotiation>& n, std::size_t index);
-  // Batch pipeline: EnqueueBatch assigns the at-most-once id (reusing it
-  // for an identical retransmission) and hands to DispatchBatch, which
-  // either sends or parks under backpressure; PumpParked drains the
-  // queue as replies free slots.
+  // Batch pipeline: EnqueueBatch mints the at-most-once id for a fresh
+  // batch and hands to DispatchBatch, which either sends or parks under
+  // backpressure; PumpParked drains the queue as replies free slots.
+  // Retransmissions skip EnqueueBatch: they re-dispatch the original
+  // Batch (same id, same frozen payload) with a narrowed `wanted` set.
   void EnqueueBatch(const std::shared_ptr<Negotiation>& n, const Loid& host,
                     std::vector<std::size_t> indices);
   // Releases a host's next queued same-round chunk once its predecessor's
@@ -184,6 +196,9 @@ class EnactorObject : public LegionObject {
   void Succeed(const std::shared_ptr<Negotiation>& n);
   void Fail(const std::shared_ptr<Negotiation>& n);
   void CancelHeld(const std::shared_ptr<Negotiation>& n, std::size_t index);
+  // Fire-and-forget cancel of a token the negotiation does not hold
+  // (e.g. a stray grant for a slot abandoned between transmissions).
+  void CancelToken(const ReservationToken& token);
 
   // Per-class instantiation demand, resolved from the local class object
   // (the Enactor caches this knowledge between calls in the real system).

@@ -68,9 +68,14 @@ struct BatchSlotRequest {
 struct ReservationBatchRequest {
   Loid requester;
   // At-most-once admission id: the Enactor reuses the id when it
-  // retransmits an identical slot set after a lost reply, and the host
+  // retransmits the identical batch after a lost reply, and the host
   // replays the recorded reply instead of admitting twice.  0 = no dedup.
   std::uint64_t batch_id = 0;
+  // Set on every resend of a batch id.  Purely observability: a flagged
+  // retransmission that misses the host's replay cache means a lost
+  // request (benign) or an evicted reply (possible double-admit), and
+  // the host counts it either way.
+  bool retransmit = false;
   std::vector<BatchSlotRequest> slots;
 };
 
@@ -117,9 +122,11 @@ class HostInterface {
   // Reservation management.
   virtual void MakeReservation(const ReservationRequest& request,
                                Callback<ReservationToken> done) = 0;
-  // Batched admission: every slot is evaluated against one consistent
-  // table snapshot and either durably admitted or reported failed in its
-  // outcome -- the table is never left half-updated between the two.
+  // Batched admission: slots are evaluated in slot order within one
+  // event-loop turn, each against the state its predecessors left
+  // behind -- the same decisions the sequential MakeReservation path
+  // would make -- and each is either durably admitted or reported
+  // failed in its outcome.
   virtual void MakeReservationBatch(const ReservationBatchRequest& request,
                                     Callback<ReservationBatchReply> done) = 0;
   virtual void CheckReservation(const ReservationToken& token,

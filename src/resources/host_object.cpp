@@ -75,11 +75,18 @@ void HostObject::MakeReservationBatch(const ReservationBatchRequest& request,
   const std::string dedup_key =
       request.requester.ToString() + "#" + std::to_string(request.batch_id);
   if (request.batch_id != 0) {
+    EvictStaleBatchReplies(now);
     auto cached = completed_batches_.find(dedup_key);
     if (cached != completed_batches_.end()) {
+      ++batch_replay_hits_;
       done(cached->second);
       return;
     }
+    // A flagged retransmission that misses the cache re-admits blind:
+    // either the original request never arrived (benign) or its reply
+    // aged out of the cache (a possible double-admit).  Count it so the
+    // failure mode is observable instead of silent.
+    if (request.retransmit) ++batch_replay_misses_;
   }
 
   auto batch = std::make_shared<PendingBatch>();
@@ -91,7 +98,9 @@ void HostObject::MakeReservationBatch(const ReservationBatchRequest& request,
   // Per-slot screening, same order and same rules as MakeReservation:
   // local policy first, then vault validity, then vault reachability.
   // Unknown vaults are probed live (one probe per distinct vault) before
-  // anything is admitted, so the final admit sees one snapshot.
+  // anything is admitted.  The machine-specific veto (PreAdmitSlot) is
+  // deliberately NOT screened here: it runs inside FinishBatch, per
+  // slot, interleaved with admission, so it sees predecessors' grants.
   std::unordered_map<Loid, std::vector<std::size_t>> probe_slots;
   for (std::size_t i = 0; i < request.slots.size(); ++i) {
     const ReservationRequest& slot = request.slots[i].request;
@@ -104,11 +113,6 @@ void HostObject::MakeReservationBatch(const ReservationBatchRequest& request,
     if (!slot.vault.valid()) {
       batch->outcomes[i].status = Status::Error(
           ErrorCode::kInvalidArgument, "reservation request names no vault");
-      continue;
-    }
-    Status veto = PreAdmitSlot(slot, now);
-    if (!veto.ok()) {
-      batch->outcomes[i].status = veto;
       continue;
     }
     const bool known_reachable =
@@ -144,33 +148,33 @@ void HostObject::MakeReservationBatch(const ReservationBatchRequest& request,
 
 void HostObject::FinishBatch(const std::shared_ptr<PendingBatch>& batch) {
   const SimTime now = kernel()->Now();
-  // Issue tokens for the admissible slots and admit them in one
-  // AdmitBatch call: a single consistent snapshot in slot order, per-slot
-  // outcomes for the rest (DESIGN.md §11).  A token whose slot the table
-  // rejects is simply discarded -- its serial is burned exactly as in the
-  // unbatched GrantReservation path.
-  std::vector<ReservationTable::BatchAdmitSlot> admit;
-  std::vector<std::size_t> admit_positions;
+  // Run each admissible slot through veto -> issue -> admit -> grant in
+  // slot order (DESIGN.md §11).  The interleaving matters: PreAdmitSlot
+  // and OnSlotGranted bracket every admission, so a reservation-aware
+  // queue vetoes slot i+1 against slot i's already-registered window --
+  // exactly the state the sequential MakeReservation path would show it.
+  // Two windows that individually fit but jointly exceed the queue's
+  // capacity admit one and refuse the other, never both.  A vetoed slot
+  // burns no serial (the sequential path vetoes before issuing); a slot
+  // the table rejects burns its serial exactly as GrantReservation does.
+  table_.ExpireStale(now);
   for (std::size_t i = 0; i < batch->request.slots.size(); ++i) {
     if (!batch->admissible[i]) continue;
     const ReservationRequest& slot = batch->request.slots[i].request;
-    ReservationTable::BatchAdmitSlot entry;
-    entry.token = authority_.Issue(loid(), slot.vault,
-                                   std::max(slot.start, now), slot.duration,
-                                   slot.confirm_timeout, slot.type);
-    entry.requester = slot.requester;
-    entry.memory_mb = slot.memory_mb;
-    entry.cpu_fraction = slot.cpu_fraction;
-    admit_positions.push_back(i);
-    admit.push_back(std::move(entry));
-  }
-  const std::vector<Status> statuses = table_.AdmitBatch(admit, now);
-  for (std::size_t j = 0; j < statuses.size(); ++j) {
-    const std::size_t i = admit_positions[j];
-    batch->outcomes[i].status = statuses[j];
-    if (statuses[j].ok()) {
-      batch->outcomes[i].token = admit[j].token;
-      OnSlotGranted(admit[j].token, admit[j].cpu_fraction);
+    Status veto = PreAdmitSlot(slot, now);
+    if (!veto.ok()) {
+      batch->outcomes[i].status = veto;
+      continue;
+    }
+    ReservationToken token = authority_.Issue(
+        loid(), slot.vault, std::max(slot.start, now), slot.duration,
+        slot.confirm_timeout, slot.type);
+    Status admitted = table_.Admit(token, slot.requester, slot.memory_mb,
+                                   slot.cpu_fraction, now);
+    batch->outcomes[i].status = admitted;
+    if (admitted.ok()) {
+      batch->outcomes[i].token = token;
+      OnSlotGranted(token, slot.cpu_fraction);
     }
   }
   ReservationBatchReply reply;
@@ -185,15 +189,25 @@ void HostObject::FinishBatch(const std::shared_ptr<PendingBatch>& batch) {
 
 void HostObject::RememberBatchReply(const std::string& key,
                                     ReservationBatchReply reply) {
-  constexpr std::size_t kMaxRememberedBatches = 256;
+  const SimTime now = kernel()->Now();
+  EvictStaleBatchReplies(now);
   if (completed_batches_.count(key) == 0) {
-    completed_batch_order_.push_back(key);
-    if (completed_batch_order_.size() > kMaxRememberedBatches) {
-      completed_batches_.erase(completed_batch_order_.front());
-      completed_batch_order_.pop_front();
-    }
+    completed_batch_order_.emplace_back(key, now);
   }
   completed_batches_[key] = std::move(reply);
+}
+
+void HostObject::EvictStaleBatchReplies(SimTime now) {
+  // Age-bounded, not count-bounded: a retransmission can only arrive
+  // within its sender's retry horizon, so anything older than the
+  // retention window is safe to drop -- no matter how many requesters
+  // are talking to this host in the meantime.
+  while (!completed_batch_order_.empty() &&
+         now - completed_batch_order_.front().second >
+             spec_.batch_replay_retention) {
+    completed_batches_.erase(completed_batch_order_.front().first);
+    completed_batch_order_.pop_front();
+  }
 }
 
 void HostObject::GrantReservation(const ReservationRequest& request,

@@ -48,6 +48,11 @@ struct HostSpec {
   std::uint32_t domain = 0;
   double oversubscription = 4.0;   // timesharing headroom
   Duration reassess_period = Duration::Seconds(10);
+  // How long a completed batch reply stays replayable for retransmitted
+  // batch ids.  Must comfortably exceed any requester's retry horizon
+  // (rpc timeout x attempts + backoff); an evicted entry makes a
+  // retransmission re-admit, which is exactly what the cache prevents.
+  Duration batch_replay_retention = Duration::Minutes(10);
   LoadModelParams load;
 };
 
@@ -126,6 +131,13 @@ class HostObject : public LegionObject, public HostInterface {
   // Counters for experiments.
   std::uint64_t objects_started() const { return objects_started_; }
   std::uint64_t starts_refused() const { return starts_refused_; }
+  // Replay-cache observability: hits are retransmitted batch ids served
+  // from the cache; misses are retransmissions (request.retransmit set)
+  // that found no cached reply -- either the original request was lost
+  // (benign re-admission) or the reply aged out of the cache (a
+  // possible double-admit; widen batch_replay_retention).
+  std::uint64_t batch_replay_hits() const { return batch_replay_hits_; }
+  std::uint64_t batch_replay_misses() const { return batch_replay_misses_; }
 
  protected:
   // What a host remembers about each object it is running.
@@ -185,7 +197,10 @@ class HostObject : public LegionObject, public HostInterface {
   // the machine-specific layer a veto over each slot before the table
   // sees it (batch-queue hosts ask the queue to honor the window);
   // OnSlotGranted fires for every admitted slot (batch-queue hosts
-  // register the window in the queue calendar).
+  // register the window in the queue calendar).  FinishBatch interleaves
+  // the two per slot -- veto, admit, grant, then the next slot -- so
+  // each veto sees every predecessor's granted window exactly as the
+  // sequential MakeReservation path would.
   virtual Status PreAdmitSlot(const ReservationRequest& request, SimTime now) {
     (void)request;
     (void)now;
@@ -201,8 +216,8 @@ class HostObject : public LegionObject, public HostInterface {
   void PushToCollections();
 
   // In-flight batch admission: outcomes accumulate while unknown vaults
-  // are probed; FinishBatch then admits every admissible slot against
-  // one table snapshot and replies.
+  // are probed; FinishBatch then runs each admissible slot through the
+  // veto/admit/grant ladder in slot order and replies.
   struct PendingBatch {
     ReservationBatchRequest request;
     Callback<ReservationBatchReply> done;
@@ -214,6 +229,8 @@ class HostObject : public LegionObject, public HostInterface {
   // At-most-once admission: remembers the reply for (requester, batch_id)
   // so a retransmitted batch (lost reply) replays instead of re-admitting.
   void RememberBatchReply(const std::string& key, ReservationBatchReply reply);
+  // Drops cached replies older than spec_.batch_replay_retention.
+  void EvictStaleBatchReplies(SimTime now);
 
   HostSpec spec_;
   TokenAuthority authority_;
@@ -224,13 +241,18 @@ class HostObject : public LegionObject, public HostInterface {
   std::vector<Loid> collections_;
   Loid impl_cache_;  // invalid = no cache wired (binaries are free)
   std::unordered_map<Loid, RunningObject> running_;
-  // Completed-batch replay cache, FIFO-bounded: keys in arrival order.
+  // Completed-batch replay cache, age-bounded: keys in arrival order
+  // with their remember time; entries older than the retention horizon
+  // are evicted (a count cap would let heavy traffic evict replies that
+  // a retransmission still needs).
   std::unordered_map<std::string, ReservationBatchReply> completed_batches_;
-  std::deque<std::string> completed_batch_order_;
+  std::deque<std::pair<std::string, SimTime>> completed_batch_order_;
   SimKernel::PeriodicId reassess_timer_ = 0;
   bool joined_collections_ = false;
   std::uint64_t objects_started_ = 0;
   std::uint64_t starts_refused_ = 0;
+  std::uint64_t batch_replay_hits_ = 0;
+  std::uint64_t batch_replay_misses_ = 0;
 };
 
 // A shared-memory multiprocessor host: same protocol, several CPUs, and

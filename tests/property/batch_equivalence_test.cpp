@@ -197,5 +197,81 @@ TEST(BatchEquivalence, LostReplyRetransmitsWithoutDoubleAdmit) {
   }
 }
 
+TEST(BatchEquivalence, PartialRetryRetransmitsOriginalBatchAndCancelsStrays) {
+  // A 5-slot batch is admitted but its reply is lost.  At the timeout
+  // the per-slot health bookkeeping opens the host breaker mid-loop:
+  // slots 0-1 are judged retryable before it opens, slots 2-4 are
+  // abandoned after it.  The retransmission must go out under the
+  // ORIGINAL batch id with the original 5-slot payload so the host
+  // replays its cached decisions instead of double-admitting the
+  // retried slots; the stray grants for the abandoned slots are
+  // cancelled, and variants re-aim those mappings at the local host.
+  TestWorldConfig config;
+  config.hosts = 2;
+  config.domains = 2;
+  config.net.jitter_fraction = 0.0;
+  TestWorld world(config);
+  world.Populate();
+  ClassObject* klass = world.MakeClass("app", 16, 1.0);
+  world.enactor->options().rpc_timeout = Duration::Seconds(2);
+  world.enactor->options().retry.base_delay = Duration::Seconds(1);
+  world.enactor->options().retry.jitter_fraction = 0.0;
+  // Threshold 3 against 5 recorded failures opens the breaker while the
+  // timed-out batch is being processed, splitting it into retryable and
+  // abandoned slots; the short cooldown lets the retransmission through
+  // as a half-open probe after the 1 s backoff.
+  world.enactor->health().options().host_failure_threshold = 3;
+  world.enactor->health().options().host_cooldown = Duration::Millis(500);
+  world.enactor->health().options().domain_failure_threshold = 100;
+
+  const SimTime t0 = world.kernel.Now();
+  // The request (sent at t0) lands and admits; the reply dies in the
+  // partition, which heals before the retransmission fires at ~t0+3s.
+  world.kernel.network().AddPartition(0, 1, t0 + Duration::Millis(10),
+                                      t0 + Duration::Seconds(1));
+
+  auto mapping_to = [&](std::size_t host_index) {
+    ObjectMapping mapping;
+    mapping.class_loid = klass->loid();
+    mapping.host = world.hosts[host_index]->loid();
+    mapping.vault = world.vaults[host_index]->loid();
+    return mapping;
+  };
+  ScheduleRequestList request;
+  MasterSchedule master;
+  for (int i = 0; i < 5; ++i) master.mappings.push_back(mapping_to(1));
+  const std::size_t width = master.mappings.size();
+  // One variant per abandoned slot, re-aiming it at host 0 (domain 0,
+  // unaffected by the partition or the breaker).
+  for (std::size_t i = 2; i < 5; ++i) {
+    VariantSchedule variant;
+    variant.replaces.Resize(width);
+    variant.replaces.Set(i);
+    variant.mappings.emplace_back(i, mapping_to(0));
+    master.variants.push_back(variant);
+  }
+  request.masters.push_back(master);
+
+  Await<ScheduleFeedback> feedback;
+  world.enactor->MakeReservations(request, feedback.Sink());
+  world.Run();
+  ASSERT_TRUE(feedback.Ready());
+  ASSERT_TRUE(feedback.Get().ok());
+  EXPECT_TRUE(feedback.Get()->success);
+
+  // The host admitted each slot exactly once (on the first, lost-reply
+  // transmission) and served the retransmission from the replay cache.
+  const ReservationTable& table = world.hosts[1]->reservations();
+  EXPECT_EQ(table.admitted(), 5u);
+  EXPECT_EQ(world.hosts[1]->batch_replay_hits(), 1u);
+  EXPECT_EQ(world.hosts[1]->batch_replay_misses(), 0u);
+  // The stray grants for the three abandoned slots were cancelled,
+  // leaving exactly the two retried slots live there; the variants
+  // placed the other three on host 0.
+  EXPECT_EQ(table.cancelled(), 3u);
+  EXPECT_EQ(table.live_count(), 2u);
+  EXPECT_EQ(world.hosts[0]->reservations().live_count(), 3u);
+}
+
 }  // namespace
 }  // namespace legion

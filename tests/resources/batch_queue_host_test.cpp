@@ -156,6 +156,36 @@ TEST_F(BatchQueueHostTest, MauiReservationPassesThroughToCalendar) {
   EXPECT_EQ(queue->window_count(), 0u);
 }
 
+TEST_F(BatchQueueHostTest, BatchAdmissionConsultsQueuePerSlot) {
+  // Regression: two windows that individually fit the 1-CPU Maui
+  // calendar but jointly exceed it arrive in one batch.  The queue veto
+  // runs interleaved with admission, so slot 1 is judged against slot
+  // 0's already-registered window -- admit one, refuse the other --
+  // exactly as two sequential MakeReservation calls would decide.
+  auto* host = MakeMauiHost(1);
+  auto* queue = dynamic_cast<MauiLikeQueue*>(&host->queue());
+  ASSERT_NE(queue, nullptr);
+  const SimTime start = world_.kernel.Now() + Duration::Minutes(10);
+  ReservationBatchRequest batch;
+  batch.requester = Loid(LoidSpace::kService, 0, 50);
+  batch.batch_id = 1;
+  batch.slots.push_back(
+      BatchSlotRequest{0, Reservation(start, Duration::Hours(1))});
+  batch.slots.push_back(
+      BatchSlotRequest{1, Reservation(start, Duration::Hours(1))});
+  Await<ReservationBatchReply> reply;
+  host->MakeReservationBatch(batch, reply.Sink());
+  ASSERT_TRUE(reply.Ready());
+  ASSERT_TRUE(reply.Get().ok());
+  const auto& outcomes = reply.Get()->outcomes;
+  ASSERT_EQ(outcomes.size(), 2u);
+  EXPECT_TRUE(outcomes[0].status.ok());
+  EXPECT_EQ(outcomes[1].status.code(), ErrorCode::kNoResources);
+  // One calendar window, one live reservation: no overcommit.
+  EXPECT_EQ(queue->window_count(), 1u);
+  EXPECT_EQ(host->reservations().live_count(), 1u);
+}
+
 TEST_F(BatchQueueHostTest, FifoHostKeepsReservationsInHostTable) {
   auto* host = MakeFifoHost(2);
   Await<ReservationToken> token;

@@ -259,6 +259,40 @@ TEST_F(HostObjectTest, BatchRetransmissionReplaysCachedReply) {
   EXPECT_EQ(host_->reservations().live_count(), live);
 }
 
+TEST_F(HostObjectTest, BatchReplayCacheEvictsByAgeAndCountsMisses) {
+  // Within the retention horizon a flagged retransmission replays from
+  // the cache; past it the entry is evicted, the host re-admits blind,
+  // and the miss is counted so the failure mode is observable.
+  ReservationBatchRequest batch;
+  batch.requester = Loid(LoidSpace::kService, 0, 77);
+  batch.batch_id = 9;
+  batch.slots.push_back(BatchSlotRequest{0, Request()});
+  Await<ReservationBatchReply> first;
+  host_->MakeReservationBatch(batch, first.Sink());
+  ASSERT_TRUE(first.Get().ok());
+  EXPECT_EQ(host_->reservations().admitted(), 1u);
+
+  batch.retransmit = true;
+  Await<ReservationBatchReply> replayed;
+  host_->MakeReservationBatch(batch, replayed.Sink());
+  ASSERT_TRUE(replayed.Get().ok());
+  EXPECT_EQ(host_->batch_replay_hits(), 1u);
+  EXPECT_EQ(host_->batch_replay_misses(), 0u);
+  EXPECT_EQ(host_->reservations().admitted(), 1u);
+
+  // Age the entry past the retention horizon: the cached reply is gone,
+  // so the retransmission re-admits (a second serial for the same slot)
+  // and the miss counter records that it happened.
+  world_.kernel.RunFor(host_->spec().batch_replay_retention +
+                       Duration::Seconds(1));
+  Await<ReservationBatchReply> after;
+  host_->MakeReservationBatch(batch, after.Sink());
+  ASSERT_TRUE(after.Get().ok());
+  EXPECT_EQ(host_->batch_replay_hits(), 1u);
+  EXPECT_EQ(host_->batch_replay_misses(), 1u);
+  EXPECT_EQ(host_->reservations().admitted(), 2u);
+}
+
 TEST_F(HostObjectTest, BatchHonorsLocalPolicyPerSlot) {
   host_->SetPolicy(std::make_unique<DomainRefusalPolicy>(
       std::vector<std::uint32_t>{3}));
