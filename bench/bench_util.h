@@ -166,6 +166,14 @@ class Table {
     rows_.push_back(std::move(cells));
   }
 
+  // Records cells into the JSON mirror without printing.  For tables
+  // whose printed lines mix deterministic values with wall-clock
+  // measurements: print the full line with the printf-only Row(), then
+  // record just the deterministic subset here, so every BENCH_*.json
+  // stays byte-identical across same-seed runs (scripts/chaos_sweep.sh
+  // double-run check).
+  void RecordRow(std::vector<Cell> cells) { rows_.push_back(std::move(cells)); }
+
  private:
   void WriteJson() const {
     if (experiment_.empty()) return;

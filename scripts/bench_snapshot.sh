@@ -1,9 +1,16 @@
 #!/usr/bin/env bash
 # Benchmark snapshot: builds (if needed) and runs the query-engine,
-# throughput, and federation harnesses, leaving their JSON mirrors next
-# to the repo root (BENCH_collection.json, BENCH_collection_parallel.json,
+# throughput, federation, and flight-recorder harnesses, leaving their
+# JSON mirrors next to the repo root (BENCH_collection.json,
 # BENCH_throughput.json, BENCH_throughput_batch.json,
-# BENCH_federation.json) for diffing across commits.
+# BENCH_federation.json, BENCH_obs_overhead.json) for diffing across
+# commits.  bench_obs_overhead additionally exports the observability v2
+# artifacts: TIMELINE_obs_overhead.json (recorder timeline),
+# TRACE_obs_overhead.json (Chrome trace counter tracks -- load into
+# chrome://tracing or Perfetto), PROFILE_obs_overhead.json (kernel
+# profiler dump), AUDIT_obs_overhead.jsonl (decision audit; feed to
+# scripts/explain.py), and EXPLAIN_obs_overhead.txt (one reconstructed
+# placement story).
 # Usage: scripts/bench_snapshot.sh [build-dir]
 set -euo pipefail
 
@@ -25,19 +32,24 @@ if [[ -f "$build/CMakeCache.txt" ]]; then
   generator_args=(-G "$generator")
 fi
 
+benches=(collection throughput federation obs_overhead)
+
 cmake -B "$build" -S "$repo" "${generator_args[@]}" >/dev/null
 cmake --build "$build" -j "$(nproc)" \
-  --target bench_collection bench_throughput bench_federation
+  --target "${benches[@]/#/bench_}"
 
-[[ -x "$build/bench/bench_collection" ]] || die "bench_collection did not build"
-[[ -x "$build/bench/bench_throughput" ]] || die "bench_throughput did not build"
-[[ -x "$build/bench/bench_federation" ]] || die "bench_federation did not build"
+for bench in "${benches[@]}"; do
+  [[ -x "$build/bench/bench_$bench" ]] || die "bench_$bench did not build"
+done
 
-# The Table JSON mirror writes BENCH_<experiment>.json into the cwd.
+# The Table JSON mirror (and the flight-recorder exports) write into cwd.
 cd "$repo"
-"$build/bench/bench_collection"
-"$build/bench/bench_throughput"
-"$build/bench/bench_federation"
+for bench in "${benches[@]}"; do
+  "$build/bench/bench_$bench"
+done
 
-ls -l BENCH_collection.json BENCH_collection_parallel.json \
-  BENCH_throughput.json BENCH_throughput_batch.json BENCH_federation.json
+ls -l BENCH_collection.json BENCH_throughput.json \
+  BENCH_throughput_batch.json BENCH_federation.json \
+  BENCH_obs_overhead.json TIMELINE_obs_overhead.json \
+  TRACE_obs_overhead.json PROFILE_obs_overhead.json \
+  AUDIT_obs_overhead.jsonl EXPLAIN_obs_overhead.txt

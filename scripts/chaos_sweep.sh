@@ -1,13 +1,17 @@
 #!/usr/bin/env bash
-# Chaos sweep: builds bench_chaos, bench_federation, and
-# bench_throughput, runs the deterministic sweeps (loss rate x partition
-# schedule x retry policy for the negotiation path; domains x push
-# period x WAN loss for the federated Collection hierarchy, whose loss
-# cells drop delta-push batches on the wire; scheduler scaling and the
-# batched-reservation cap sweep for the throughput harness), and
-# verifies that two same-seed runs produce byte-identical
-# BENCH_chaos.json / BENCH_federation.json / BENCH_throughput*.json --
-# the determinism guarantee the whole simulation rests on.
+# Chaos sweep: builds the deterministic bench harnesses, runs them, and
+# verifies that two same-seed runs produce byte-identical JSON mirrors
+# -- the determinism guarantee the whole simulation rests on.
+#
+# Covered: every bench that writes a BENCH_*.json mirror (chaos,
+# federation, throughput incl. the batch-cap sweep, collection, and the
+# flight-recorder overhead harness) plus the observability v2 exports
+# bench_obs_overhead writes in its full-instrumentation cell
+# (TIMELINE_*.json timeline, TRACE_*.json Chrome counter tracks,
+# PROFILE_*.json profiler dump, AUDIT_*.jsonl decision audit).  Wall
+# timings never enter any compared file: bench tables print them but
+# record only deterministic columns (see bench_util.h RecordRow), and
+# the kernel's WallClock stays pinned.
 # Usage: scripts/chaos_sweep.sh [build-dir]
 # Honors LEGION_BENCH_PRESET=smoke for the reduced CI sweep.
 set -euo pipefail
@@ -30,10 +34,12 @@ if [[ -f "$build/CMakeCache.txt" ]]; then
   generator_args=(-G "$generator")
 fi
 
+benches=(chaos federation throughput collection obs_overhead)
+
 cmake -B "$build" -S "$repo" "${generator_args[@]}" >/dev/null
 cmake --build "$build" -j "$(nproc)" \
-  --target bench_chaos bench_federation bench_throughput
-for bench in chaos federation throughput; do
+  --target "${benches[@]/#/bench_}"
+for bench in "${benches[@]}"; do
   [[ -x "$build/bench/bench_$bench" ]] || die "bench_$bench did not build"
 done
 
@@ -41,12 +47,16 @@ cd "$repo"
 scratch="$(mktemp -d)"
 trap 'rm -rf "$scratch"' EXIT
 
-# Determinism check: a second same-seed run must be byte-identical.
-# bench_throughput mirrors two experiments (BENCH_throughput.json and
-# BENCH_throughput_batch.json); both are held to the same bar.
-for name in chaos federation throughput; do
+# Determinism check: a second same-seed run must be byte-identical, for
+# every JSON artifact each bench writes.  bench_throughput mirrors two
+# experiments (BENCH_throughput.json and BENCH_throughput_batch.json);
+# bench_obs_overhead also exports the flight-recorder artifacts; all are
+# held to the same bar.
+for name in "${benches[@]}"; do
   "$build/bench/bench_$name"
-  jsons=("BENCH_$name".json "BENCH_$name"_*.json)
+  jsons=("BENCH_$name".json "BENCH_$name"_*.json
+         "TIMELINE_$name".json "TRACE_$name".json "PROFILE_$name".json
+         "AUDIT_$name".jsonl "EXPLAIN_$name".txt)
   [[ -f "BENCH_$name.json" ]] ||
     die "bench_$name did not write BENCH_$name.json"
   for json in "${jsons[@]}"; do
@@ -59,4 +69,18 @@ for name in chaos federation throughput; do
       die "two same-seed sweep runs produced different $json"
   done
 done
+# The flight-recorder exports must actually exist (regression guard for
+# the bench's full-instrumentation cell going silent).
+for artifact in TIMELINE_obs_overhead.json TRACE_obs_overhead.json \
+                PROFILE_obs_overhead.json AUDIT_obs_overhead.jsonl \
+                EXPLAIN_obs_overhead.txt; do
+  [[ -f "$artifact" ]] || die "bench_obs_overhead did not write $artifact"
+done
+# scripts/explain.py must reproduce the C++ ExplainMapping report
+# byte-for-byte from the JSONL export.
+if command -v python3 >/dev/null; then
+  python3 scripts/explain.py AUDIT_obs_overhead.jsonl 2 0 |
+    cmp -s - EXPLAIN_obs_overhead.txt ||
+    die "explain.py diverged from the C++ ExplainMapping report"
+fi
 echo "chaos_sweep.sh: determinism check passed (two runs byte-identical)"

@@ -1,0 +1,154 @@
+#!/usr/bin/env python3
+"""Reconstruct a placement story from a decision-audit JSONL export.
+
+Reads the AUDIT_*.jsonl file a DecisionLog exports (one JSON object per
+record: seq, t, kind, then the record's fields in order) and prints the
+same report as C++ `DecisionLog::ExplainMapping(negotiation, index)`:
+the scheduler decisions that aimed the mapping (candidate counts,
+suspect skips, rationale), every reservation-lifecycle transition in
+execution order, and the final outcome.
+
+Usage:
+  scripts/explain.py AUDIT_obs_overhead.jsonl <negotiation-id> [slot]
+  scripts/explain.py --list AUDIT_obs_overhead.jsonl
+
+With --list, prints one line per negotiation (id, outcome, record
+count) so you can find the story you are after.  Stdlib only; the
+output is deterministic and byte-comparable against the C++ report.
+"""
+
+import json
+import sys
+
+
+def load(path):
+    records = []
+    with open(path, "r", encoding="utf-8") as f:
+        for line in f:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def field(record, key):
+    # seq/t/kind are structural; everything else is an audit field.
+    if key in ("seq", "t", "kind"):
+        return None
+    value = record.get(key)
+    return value if isinstance(value, str) else None
+
+
+def line(record):
+    """"t=<us> <kind> key=value ..." with the correlation id elided."""
+    parts = ["t=" + str(record["t"]), record["kind"]]
+    for key, value in record.items():
+        if key in ("seq", "t", "kind", "nid"):
+            continue
+        parts.append(key + "=" + value)
+    return " ".join(parts) + "\n"
+
+
+def explain(records, negotiation, index):
+    nid = str(negotiation)
+    slot_key = str(index) if index >= 0 else None
+
+    # Every host the slot (or, unscoped, the negotiation) ever aimed at.
+    hosts = set()
+    for record in records:
+        if field(record, "nid") != nid:
+            continue
+        slot = field(record, "slot")
+        if slot_key is not None and slot is not None and slot != slot_key:
+            continue
+        host = field(record, "host")
+        if host is not None:
+            hosts.add(host)
+
+    out = "== negotiation " + nid
+    if slot_key is not None:
+        out += " slot " + slot_key
+    out += " ==\n-- scheduler decisions --\n"
+    for record in records:
+        if field(record, "nid") is not None:
+            continue
+        kind = record["kind"]
+        if not kind.startswith("sched_"):
+            continue
+        if kind == "sched_choice" and slot_key is not None:
+            host = field(record, "host")
+            if host is not None and host not in hosts:
+                continue
+        out += line(record)
+
+    out += "-- lifecycle --\n"
+    outcome = "unresolved"
+    for record in records:
+        if field(record, "nid") != nid:
+            continue
+        slot = field(record, "slot")
+        if slot_key is not None and slot is not None and slot != slot_key:
+            continue
+        out += line(record)
+        kind = record["kind"]
+        host = field(record, "host") or "?"
+        if kind == "reserve_granted" and slot is not None:
+            outcome = "granted on " + host
+        elif kind == "reserve_failed" and slot is not None:
+            outcome = "failed (" + (field(record, "code") or "?") + ") on " + host
+        elif kind == "reservation_cancelled" and slot is not None:
+            outcome = "cancelled on " + host
+
+    out += "-- outcome --\n"
+    if slot_key is not None:
+        out += "slot " + slot_key + ": " + outcome + "\n"
+    for record in records:
+        if field(record, "nid") != nid:
+            continue
+        if record["kind"] in ("negotiation_success", "negotiation_failed"):
+            out += line(record)
+    return out
+
+
+def list_negotiations(records):
+    order = []
+    outcomes = {}
+    counts = {}
+    for record in records:
+        nid = field(record, "nid")
+        if nid is None:
+            continue
+        if nid not in counts:
+            order.append(nid)
+            counts[nid] = 0
+            outcomes[nid] = "unresolved"
+        counts[nid] += 1
+        if record["kind"] == "negotiation_success":
+            outcomes[nid] = "success"
+        elif record["kind"] == "negotiation_failed":
+            outcomes[nid] = "failed (" + (field(record, "code") or "?") + ")"
+    for nid in order:
+        print(f"negotiation {nid}: {outcomes[nid]} ({counts[nid]} records)")
+
+
+def main(argv):
+    args = [a for a in argv[1:] if a != "--list"]
+    listing = len(args) != len(argv) - 1
+    if listing and len(args) == 1:
+        list_negotiations(load(args[0]))
+        return 0
+    if len(args) not in (2, 3):
+        sys.stderr.write(__doc__)
+        return 2
+    records = load(args[0])
+    negotiation = int(args[1])
+    index = int(args[2]) if len(args) == 3 else -1
+    sys.stdout.write(explain(records, negotiation, index))
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main(sys.argv))
+    except BrokenPipeError:  # e.g. piped into head
+        sys.exit(0)

@@ -1,20 +1,10 @@
 #include "core/collection.h"
 
 #include <algorithm>
-#include <chrono>
 #include <cmath>
 #include <thread>
 
 namespace legion {
-
-namespace {
-// Wall-clock microseconds for measuring real evaluation cost.
-std::int64_t WallMicros() {
-  return std::chrono::duration_cast<std::chrono::microseconds>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
-}  // namespace
 
 namespace {
 // Well-known serial for the Collection service class.
@@ -297,7 +287,11 @@ CollectionData CollectionObject::EmitResults(
 Result<CollectionData> CollectionObject::Execute(
     const query::CompiledQuery& query, const QueryOptions& options) const {
   cells_.queries_served->Add();
-  const std::int64_t wall_start = WallMicros();
+  // Wall cost is measured through the kernel's WallClock, which is pinned
+  // by default -- the histogram stays deterministic unless a bench opts
+  // into real time.
+  const obs::WallClock& wall = kernel()->wallclock();
+  const std::int64_t wall_start = wall.Micros();
   std::shared_lock lock(store_mutex_);
 
   const bool scoped = options.domain_scope >= 0;
@@ -351,7 +345,7 @@ Result<CollectionData> CollectionObject::Execute(
 
   CollectionData out = EmitResults(matched, options);
   cells_.query_wall_us->Observe(
-      static_cast<double>(WallMicros() - wall_start));
+      static_cast<double>(wall.Micros() - wall_start));
   return out;
 }
 
@@ -388,7 +382,8 @@ Result<CollectionData> CollectionObject::QueryLocalParallel(
 
   cells_.queries_served->Add();
   cells_.planner_fallbacks->Add();
-  const std::int64_t wall_start = WallMicros();
+  const obs::WallClock& wall = kernel()->wallclock();
+  const std::int64_t wall_start = wall.Micros();
 
   // Readers don't block readers: hold the shared lock for the whole
   // evaluation so writers stay out while workers scan the records.
@@ -431,7 +426,7 @@ Result<CollectionData> CollectionObject::QueryLocalParallel(
 
   CollectionData out = EmitResults(matched, options);
   cells_.query_wall_us->Observe(
-      static_cast<double>(WallMicros() - wall_start));
+      static_cast<double>(wall.Micros() - wall_start));
   return out;
 }
 

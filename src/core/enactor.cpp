@@ -14,6 +14,9 @@ constexpr std::uint64_t kServiceClassSerial = 5;
 // The mutable state of one make_reservations() negotiation.  Kept alive
 // by shared_ptr across the asynchronous reservation rounds.
 struct EnactorObject::Negotiation {
+  // Audit correlation id (obs/audit.h); reported back to the scheduler
+  // via ScheduleFeedback::negotiation_id.
+  std::uint64_t id = 0;
   ScheduleRequestList request;
   Callback<ScheduleFeedback> done;
 
@@ -172,8 +175,14 @@ void EnactorObject::MakeReservations(const ScheduleRequestList& request,
     return;
   }
   auto n = std::make_shared<Negotiation>();
+  n->id = next_negotiation_id_++;
   n->request = request;
   n->done = std::move(done);
+  if (AuditOn()) {
+    Audit("negotiation_begin",
+          {{"nid", std::to_string(n->id)},
+           {"masters", std::to_string(request.masters.size())}});
+  }
   StartMaster(n);
 }
 
@@ -183,6 +192,13 @@ void EnactorObject::StartMaster(const std::shared_ptr<Negotiation>& n) {
     return;
   }
   const MasterSchedule& master = n->request.masters[n->master];
+  if (AuditOn()) {
+    Audit("master_start",
+          {{"nid", std::to_string(n->id)},
+           {"master", std::to_string(n->master)},
+           {"mappings", std::to_string(master.mappings.size())},
+           {"variants", std::to_string(master.variants.size())}});
+  }
   n->current = master.mappings;
   n->tokens.assign(master.mappings.size(), std::nullopt);
   n->cancelled_history.assign(master.mappings.size(), {});
@@ -286,6 +302,15 @@ void EnactorObject::DispatchBatch(Batch batch) {
           {{"host", batch.host.ToString()},
            {"slots", std::to_string(batch.wanted.size())}});
     }
+    if (AuditOn()) {
+      const std::string nid = std::to_string(batch.negotiation->id);
+      const std::string host = batch.host.ToString();
+      for (std::size_t index : batch.wanted) {
+        Audit("reserve_parked", {{"nid", nid},
+                                 {"slot", std::to_string(index)},
+                                 {"host", host}});
+      }
+    }
     parked_.push_back(std::move(batch));
     return;
   }
@@ -331,6 +356,14 @@ void EnactorObject::SendBatch(Batch batch) {
       }
     }
     cells_.reservations_requested->Add();
+    if (AuditOn()) {
+      Audit("reserve_requested",
+            {{"nid", std::to_string(n->id)},
+             {"slot", std::to_string(index)},
+             {"host", mapping.host.ToString()},
+             {"batch", std::to_string(batch.id)},
+             {"attempt", std::to_string(n->attempts[index] + 1)}});
+    }
   }
 
   // Freeze the wire payload on first send.  A retransmission reuses it
@@ -419,9 +452,28 @@ void EnactorObject::OnBatchReply(const Batch& batch,
         cells_.reservations_failed->Add();
         n->last_code = ErrorCode::kInternal;
         n->last_error = "batch reply missing slot " + std::to_string(index);
+        if (AuditOn()) {
+          Audit("reserve_failed", {{"nid", std::to_string(n->id)},
+                                   {"slot", std::to_string(index)},
+                                   {"host", target.ToString()},
+                                   {"code", "INTERNAL"}});
+        }
         continue;
       }
       const BatchSlotOutcome& outcome = *it->second;
+      if (AuditOn()) {
+        if (outcome.status.ok()) {
+          Audit("reserve_granted", {{"nid", std::to_string(n->id)},
+                                    {"slot", std::to_string(index)},
+                                    {"host", target.ToString()}});
+        } else {
+          Audit("reserve_failed",
+                {{"nid", std::to_string(n->id)},
+                 {"slot", std::to_string(index)},
+                 {"host", target.ToString()},
+                 {"code", legion::ToString(outcome.status.code())}});
+        }
+      }
       if (outcome.status.ok()) {
         if (options_.use_health) health_.RecordSuccess(target);
         cells_.reservations_granted->Add();
@@ -458,6 +510,12 @@ void EnactorObject::OnBatchReply(const Batch& batch,
         auto it = by_index.find(index);
         if (it != by_index.end() && it->second->status.ok()) {
           cells_.reservations_cancelled->Add();
+          if (AuditOn()) {
+            Audit("stray_grant_cancelled",
+                  {{"nid", std::to_string(n->id)},
+                   {"slot", std::to_string(index)},
+                   {"host", target.ToString()}});
+          }
           CancelToken(it->second->token);
         }
       }
@@ -481,8 +539,21 @@ void EnactorObject::OnBatchReply(const Batch& batch,
           (!options_.use_health || health_.Healthy(target))) {
         ++n->attempts[index];
         cells_.retries->Add();
+        if (AuditOn()) {
+          Audit("reserve_retry",
+                {{"nid", std::to_string(n->id)},
+                 {"slot", std::to_string(index)},
+                 {"host", target.ToString()},
+                 {"attempt", std::to_string(n->attempts[index] + 1)}});
+        }
         retryable.push_back(index);
       } else {
+        if (AuditOn()) {
+          Audit("reserve_failed", {{"nid", std::to_string(n->id)},
+                                   {"slot", std::to_string(index)},
+                                   {"host", target.ToString()},
+                                   {"code", legion::ToString(code)}});
+        }
         ++completed;
       }
     }
@@ -510,10 +581,13 @@ void EnactorObject::OnBatchReply(const Batch& batch,
       Batch retry = batch;
       retry.wanted = std::move(retryable);
       retry.retransmit = true;
-      kernel()->ScheduleAfter(delay, [this, retry = std::move(retry)] {
-        if (retry.negotiation->finished) return;
-        DispatchBatch(retry);
-      });
+      kernel()->ScheduleAfter(
+          delay,
+          [this, retry = std::move(retry)] {
+            if (retry.negotiation->finished) return;
+            DispatchBatch(retry);
+          },
+          "enactor/backoff");
     }
   }
 
@@ -556,13 +630,22 @@ void EnactorObject::FailIndexFast(const std::shared_ptr<Negotiation>& n,
                               {{"host", n->current[index].host.ToString()},
                                {"index", std::to_string(index)}});
   }
-  kernel()->ScheduleAfter(Duration::Zero(), [this, n, index] {
-    if (n->finished) return;
-    n->last_code = ErrorCode::kUnavailable;
-    n->last_error =
-        "breaker open for host " + n->current[index].host.ToString();
-    if (--n->outstanding == 0) OnRoundComplete(n);
-  });
+  if (AuditOn()) {
+    Audit("breaker_fastfail",
+          {{"nid", std::to_string(n->id)},
+           {"slot", std::to_string(index)},
+           {"host", n->current[index].host.ToString()}});
+  }
+  kernel()->ScheduleAfter(
+      Duration::Zero(),
+      [this, n, index] {
+        if (n->finished) return;
+        n->last_code = ErrorCode::kUnavailable;
+        n->last_error =
+            "breaker open for host " + n->current[index].host.ToString();
+        if (--n->outstanding == 0) OnRoundComplete(n);
+      },
+      "enactor/fastfail");
 }
 
 void EnactorObject::ReserveIndex(const std::shared_ptr<Negotiation>& n,
@@ -587,6 +670,13 @@ void EnactorObject::ReserveIndex(const std::shared_ptr<Negotiation>& n,
     }
   }
   cells_.reservations_requested->Add();
+  if (AuditOn()) {
+    Audit("reserve_requested",
+          {{"nid", std::to_string(n->id)},
+           {"slot", std::to_string(index)},
+           {"host", mapping.host.ToString()},
+           {"attempt", std::to_string(n->attempts[index] + 1)}});
+  }
 
   ReservationRequest request;
   request.vault = mapping.vault;
@@ -611,6 +701,11 @@ void EnactorObject::ReserveIndex(const std::shared_ptr<Negotiation>& n,
           if (options_.use_health) health_.RecordSuccess(target);
           cells_.reservations_granted->Add();
           if (n->attempts[index] > 0) cells_.partial_recoveries->Add();
+          if (AuditOn()) {
+            Audit("reserve_granted", {{"nid", std::to_string(n->id)},
+                                      {"slot", std::to_string(index)},
+                                      {"host", target.ToString()}});
+          }
           n->tokens[index] = std::move(*result);
         } else {
           const ErrorCode code = result.status().code();
@@ -642,11 +737,27 @@ void EnactorObject::ReserveIndex(const std::shared_ptr<Negotiation>& n,
                    {"attempt", std::to_string(n->attempts[index] + 1)},
                    {"delay", delay.ToString()}});
             }
-            kernel()->ScheduleAfter(delay, [this, n, index] {
-              if (n->finished) return;
-              ReserveIndex(n, index);
-            });
+            if (AuditOn()) {
+              Audit("reserve_retry",
+                    {{"nid", std::to_string(n->id)},
+                     {"slot", std::to_string(index)},
+                     {"host", target.ToString()},
+                     {"attempt", std::to_string(n->attempts[index] + 1)}});
+            }
+            kernel()->ScheduleAfter(
+                delay,
+                [this, n, index] {
+                  if (n->finished) return;
+                  ReserveIndex(n, index);
+                },
+                "enactor/backoff");
             return;  // the retry inherits this index's outstanding slot
+          }
+          if (AuditOn()) {
+            Audit("reserve_failed", {{"nid", std::to_string(n->id)},
+                                     {"slot", std::to_string(index)},
+                                     {"host", target.ToString()},
+                                     {"code", legion::ToString(code)}});
           }
         }
         if (kernel()->trace().enabled()) {
@@ -668,6 +779,12 @@ void EnactorObject::CancelHeld(const std::shared_ptr<Negotiation>& n,
   n->cancelled_history[index].push_back(n->current[index]);
   n->tokens[index].reset();
   cells_.reservations_cancelled->Add();
+  if (AuditOn()) {
+    Audit("reservation_cancelled",
+          {{"nid", std::to_string(n->id)},
+           {"slot", std::to_string(index)},
+           {"host", n->current[index].host.ToString()}});
+  }
   CancelToken(token);
 }
 
@@ -719,9 +836,19 @@ void EnactorObject::OnRoundComplete(const std::shared_ptr<Negotiation>& n) {
                                   "enactor", kernel()->trace().current(),
                                   {{"variant", std::to_string(v)}});
       }
+      if (AuditOn()) {
+        Audit("variant_applied", {{"nid", std::to_string(n->id)},
+                                  {"variant", std::to_string(v)}});
+      }
       for (const auto& [index, mapping] : master.variants[v].mappings) {
         // Cancel only the reservations the variant actually replaces.
         CancelHeld(n, index);
+        if (AuditOn()) {
+          Audit("slot_remapped", {{"nid", std::to_string(n->id)},
+                                  {"slot", std::to_string(index)},
+                                  {"host", mapping.host.ToString()},
+                                  {"variant", std::to_string(v)}});
+        }
         n->current[index] = mapping;
         n->attempts[index] = 0;  // new mapping, fresh retry budget
       }
@@ -739,6 +866,10 @@ void EnactorObject::OnRoundComplete(const std::shared_ptr<Negotiation>& n) {
   }
   const std::size_t v = n->next_variant++;
   n->applied_variants.push_back(v);
+  if (AuditOn()) {
+    Audit("variant_applied", {{"nid", std::to_string(n->id)},
+                              {"variant", std::to_string(v)}});
+  }
   n->current = master.WithVariant(v);
   n->attempts.assign(n->current.size(), 0);
   RequestMissing(n);
@@ -751,6 +882,12 @@ void EnactorObject::AbandonMaster(const std::shared_ptr<Negotiation>& n) {
   for (std::size_t i = 0; i < n->tokens.size(); ++i) {
     if (!n->tokens[i].has_value()) n->last_failed_indices.push_back(i);
   }
+  if (AuditOn()) {
+    Audit("master_abandoned",
+          {{"nid", std::to_string(n->id)},
+           {"master", std::to_string(n->master)},
+           {"unplaced", std::to_string(n->last_failed_indices.size())}});
+  }
   for (std::size_t i = 0; i < n->tokens.size(); ++i) CancelHeld(n, i);
   ++n->master;
   StartMaster(n);
@@ -758,9 +895,16 @@ void EnactorObject::AbandonMaster(const std::shared_ptr<Negotiation>& n) {
 
 void EnactorObject::Succeed(const std::shared_ptr<Negotiation>& n) {
   n->finished = true;
+  if (AuditOn()) {
+    Audit("negotiation_success",
+          {{"nid", std::to_string(n->id)},
+           {"master", std::to_string(n->master)},
+           {"variants", std::to_string(n->applied_variants.size())}});
+  }
   ScheduleFeedback feedback;
   feedback.original = n->request;
   feedback.success = true;
+  feedback.negotiation_id = n->id;
   ScheduleChoice choice;
   choice.master_index = n->master;
   choice.variant_indices = n->applied_variants;
@@ -773,9 +917,15 @@ void EnactorObject::Succeed(const std::shared_ptr<Negotiation>& n) {
 
 void EnactorObject::Fail(const std::shared_ptr<Negotiation>& n) {
   n->finished = true;
+  if (AuditOn()) {
+    Audit("negotiation_failed",
+          {{"nid", std::to_string(n->id)},
+           {"code", legion::ToString(n->last_code)}});
+  }
   ScheduleFeedback feedback;
   feedback.original = n->request;
   feedback.success = false;
+  feedback.negotiation_id = n->id;
   feedback.failure = n->last_code;
   feedback.failure_detail = n->last_error;
   // Which of the last master's mappings never held a token: the

@@ -205,6 +205,15 @@ class EnactorObject : public LegionObject {
   void LookupDemand(const Loid& class_loid, std::size_t* memory_mb,
                     double* cpu_fraction) const;
 
+  // Decision audit (obs/audit.h): every reservation-slot lifecycle
+  // transition is recorded keyed by the negotiation id when the kernel's
+  // audit log is enabled.  Sites guard with AuditOn() so a disabled log
+  // costs one branch and no allocations.
+  bool AuditOn() const { return kernel()->audit().enabled(); }
+  void Audit(const char* kind, obs::TraceArgs fields) {
+    kernel()->audit().Record(kernel()->Now(), kind, std::move(fields));
+  }
+
   // Pre-resolved metrics cells; hot-path updates are one atomic add.
   struct Cells {
     obs::Counter* negotiations;
@@ -235,6 +244,9 @@ class EnactorObject : public LegionObject {
   std::deque<Batch> parked_;
   std::size_t outstanding_batches_ = 0;
   std::uint64_t next_batch_id_ = 1;
+  // Correlation ids for the decision audit log; reported back to the
+  // scheduler in ScheduleFeedback::negotiation_id.
+  std::uint64_t next_negotiation_id_ = 1;
 };
 
 }  // namespace legion

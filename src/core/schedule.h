@@ -100,6 +100,11 @@ struct ScheduleFeedback {
   ScheduleRequestList original;
   bool success = false;
   std::optional<ScheduleChoice> winner;
+  // Correlation id for the decision audit log (obs/audit.h): every
+  // lifecycle record this negotiation produced carries nid=<this>, so
+  // ExplainMapping(negotiation_id, slot) reconstructs the placement
+  // story.  0 when the request was rejected before a negotiation began.
+  std::uint64_t negotiation_id = 0;
   // On success: the effective mappings and one reservation token per
   // mapping (what enact_schedule consumes).
   std::vector<ObjectMapping> reserved_mappings;

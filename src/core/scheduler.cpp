@@ -39,6 +39,21 @@ const HealthTracker* SchedulerObject::health() const {
   return &enactor->health();
 }
 
+void SchedulerObject::AuditDecision(const char* kind, obs::TraceArgs fields) {
+  fields.insert(fields.begin(), {"scheduler", name_});
+  kernel()->audit().Record(kernel()->Now(), kind, std::move(fields));
+}
+
+void SchedulerObject::AuditChoice(std::size_t slot,
+                                  const ObjectMapping& mapping,
+                                  const std::string& reason) {
+  if (!AuditOn()) return;
+  AuditDecision("sched_choice", {{"slot", std::to_string(slot)},
+                                 {"class", mapping.class_loid.ToString()},
+                                 {"host", mapping.host.ToString()},
+                                 {"reason", reason}});
+}
+
 void SchedulerObject::FilterSuspects(CollectionData* hosts,
                                      std::size_t min_keep) {
   const HealthTracker* tracker = health();
@@ -52,6 +67,19 @@ void SchedulerObject::FilterSuspects(CollectionData* hosts,
   // suspects fast, and half-open targets need traffic to recover).
   if (healthy == hosts->size() || healthy < min_keep) return;
   const std::size_t skipped = hosts->size() - healthy;
+  if (AuditOn()) {
+    for (const CollectionRecord& record : *hosts) {
+      if (!tracker->Healthy(record.member)) {
+        AuditDecision("sched_suspect_skip",
+                      {{"host", record.member.ToString()},
+                       {"reason", "breaker_open"}});
+      }
+    }
+    AuditDecision("sched_filter",
+                  {{"pool", std::to_string(hosts->size())},
+                   {"healthy", std::to_string(healthy)},
+                   {"skipped", std::to_string(skipped)}});
+  }
   hosts->erase(std::remove_if(hosts->begin(), hosts->end(),
                               [tracker](const CollectionRecord& record) {
                                 return !tracker->Healthy(record.member);
@@ -70,6 +98,17 @@ void SchedulerObject::QueryHosts(const std::string& query,
                                  Callback<CollectionData> done) {
   ++collection_lookups_;
   lookups_cell_->Add();
+  if (AuditOn()) {
+    // Record the candidate count when the reply lands, so the report
+    // shows what pool the policy actually worked from.
+    done = [this, query, done = std::move(done)](Result<CollectionData> r) {
+      AuditDecision("sched_query",
+                    {{"query", query},
+                     {"candidates",
+                      r.ok() ? std::to_string(r->size()) : "error"}});
+      done(std::move(r));
+    };
+  }
   CallOn<CollectionData, CollectionObject>(
       kernel(), loid(), collection_, kSmallMessage, kLargeMessage,
       kDefaultRpcTimeout,

@@ -125,6 +125,17 @@ class SchedulerObject : public LegionObject {
   Loid collection_loid() const { return collection_; }
   Loid enactor_loid() const { return enactor_; }
 
+  // ---- Decision audit (obs/audit.h) -----------------------------------------
+  // Scheduler-side records carry {"scheduler": name} and no negotiation
+  // id (the id is minted later, by the Enactor); ExplainMapping joins
+  // them to the lifecycle by host.  Sites guard with AuditOn().
+  bool AuditOn() const { return kernel()->audit().enabled(); }
+  void AuditDecision(const char* kind, obs::TraceArgs fields);
+  // One chosen mapping: which class lands on which host at schedule slot
+  // `slot`, and the policy's rationale ("random", "rank=3.7", ...).
+  void AuditChoice(std::size_t slot, const ObjectMapping& mapping,
+                   const std::string& reason);
+
   // Seed for every policy's QueryOptions: carries the routing scope and
   // staleness bound so all five schedulers inherit federated behavior.
   QueryOptions ScopedOptions() const {

@@ -88,6 +88,11 @@ void IrsScheduler::NextClass(const std::shared_ptr<GenState>& state) {
                 while (per_instance.size() < nsched_) {
                   per_instance.push_back(per_instance.front());
                 }
+                AuditChoice(state->candidates.size(), per_instance.front(),
+                            "random draw 1 of " +
+                                std::to_string(per_instance.size()) +
+                                " from " + std::to_string(hosts->size()) +
+                                " candidates");
                 state->candidates.push_back(std::move(per_instance));
               }
               ++state->class_index;

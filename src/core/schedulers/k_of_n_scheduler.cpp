@@ -79,6 +79,11 @@ void KOfNScheduler::ComputeSchedule(const PlacementRequest& request,
 
               MasterSchedule master;
               for (std::size_t i = 0; i < k; ++i) {
+                AuditChoice(i, candidates[i].mapping,
+                            "load rank " + std::to_string(i) + " of " +
+                                std::to_string(candidates.size()) +
+                                ", load=" +
+                                std::to_string(candidates[i].load));
                 master.mappings.push_back(candidates[i].mapping);
               }
               // Spares: single-bit variants substituting spare s for

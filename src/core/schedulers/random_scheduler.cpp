@@ -79,6 +79,10 @@ void RandomScheduler::NextClass(const std::shared_ptr<GenState>& state) {
                 mapping.host = host.member;
                 mapping.vault = vaults[rng_.Index(vaults.size())];
                 mapping.implementation = ImplementationFor(host);
+                AuditChoice(state->master.mappings.size(), mapping,
+                            "random pick of " +
+                                std::to_string(hosts->size()) +
+                                " candidates");
                 state->master.mappings.push_back(mapping);
               }
               ++state->class_index;

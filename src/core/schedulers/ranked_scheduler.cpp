@@ -178,6 +178,14 @@ void RankedScheduler::NextClass(const std::shared_ptr<GenState>& state) {
                   mapping.implementation = ImplementationFor(*host.record);
                   per_instance.push_back(mapping);
                 }
+                if (AuditOn()) {
+                  const Ranked& best = ranked[order[0]];
+                  AuditChoice(state->candidates.size(), per_instance.front(),
+                              "best of " + std::to_string(ranked.size()) +
+                                  " feasible, score=" +
+                                  std::to_string(best.score +
+                                                 best.extra_load));
+                }
                 ranked[order[0]].extra_load +=
                     1.0 / std::max(ranked[order[0]].cpus, 1.0);
                 state->candidates.push_back(std::move(per_instance));

@@ -140,6 +140,12 @@ void StencilScheduler::ComputeSchedule(const PlacementRequest& request,
                   mapping.host = slots[best].host;
                   mapping.vault = slots[best].vault;
                   mapping.implementation = slots[best].impl;
+                  AuditChoice(master.mappings.size(), mapping,
+                              "cell (" + std::to_string(r) + "," +
+                                  std::to_string(c) + ") domain " +
+                                  std::to_string(row_domain[r]) +
+                                  ", least-loaded of " +
+                                  std::to_string(slots.size()));
                   master.mappings.push_back(mapping);
                   slots[best].charged +=
                       cpu_fraction / std::max(slots[best].cpus, 1.0);

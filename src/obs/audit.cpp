@@ -1,0 +1,138 @@
+#include "obs/audit.h"
+
+#include <set>
+
+#include "obs/json.h"
+
+namespace legion::obs {
+
+std::string AuditRecord::ToJson() const {
+  std::string out = "{\"seq\":" + JsonNumber(seq) +
+                    ",\"t\":" + JsonNumber(ts.micros()) +
+                    ",\"kind\":" + JsonString(kind);
+  for (const TraceArg& field : fields) {
+    out += ',' + JsonString(field.key) + ':' + JsonString(field.value);
+  }
+  out += '}';
+  return out;
+}
+
+void DecisionLog::Record(SimTime ts, const char* kind, TraceArgs fields) {
+  if (!enabled_) return;
+  AuditRecord record;
+  record.seq = next_seq_++;
+  record.ts = ts;
+  record.kind = kind;
+  record.fields = std::move(fields);
+  records_.push_back(std::move(record));
+}
+
+void DecisionLog::Clear() {
+  records_.clear();
+  records_.shrink_to_fit();
+  next_seq_ = 1;
+}
+
+std::string DecisionLog::ToJsonl() const {
+  std::string out;
+  for (const AuditRecord& record : records_) {
+    out += record.ToJson();
+    out += '\n';
+  }
+  return out;
+}
+
+const std::string* AuditField(const AuditRecord& record,
+                              std::string_view key) {
+  for (const TraceArg& field : record.fields) {
+    if (field.key == key) return &field.value;
+  }
+  return nullptr;
+}
+
+namespace {
+
+// "t=<us> <kind> key=value ..." with the correlation id elided (the
+// header names it once).
+std::string Line(const AuditRecord& record) {
+  std::string out = "t=" + std::to_string(record.ts.micros()) + ' ' +
+                    record.kind;
+  for (const TraceArg& field : record.fields) {
+    if (field.key == "nid") continue;
+    out += ' ' + field.key + '=' + field.value;
+  }
+  out += '\n';
+  return out;
+}
+
+}  // namespace
+
+std::string DecisionLog::ExplainMapping(std::uint64_t negotiation,
+                                        std::int64_t index) const {
+  const std::string nid = std::to_string(negotiation);
+  const std::string slot_key =
+      index >= 0 ? std::to_string(index) : std::string();
+
+  // Every host the slot (or, unscoped, the negotiation) ever aimed at;
+  // scheduler choice lines for other hosts are noise for this story.
+  std::set<std::string> hosts;
+  for (const AuditRecord& record : records_) {
+    const std::string* rnid = AuditField(record, "nid");
+    if (rnid == nullptr || *rnid != nid) continue;
+    const std::string* slot = AuditField(record, "slot");
+    if (index >= 0 && slot != nullptr && *slot != slot_key) continue;
+    if (const std::string* host = AuditField(record, "host")) {
+      hosts.insert(*host);
+    }
+  }
+
+  std::string out = "== negotiation " + nid;
+  if (index >= 0) out += " slot " + slot_key;
+  out += " ==\n-- scheduler decisions --\n";
+  for (const AuditRecord& record : records_) {
+    if (AuditField(record, "nid") != nullptr) continue;
+    const std::string_view kind(record.kind);
+    if (kind.substr(0, 6) != "sched_") continue;
+    if (kind == "sched_choice" && index >= 0) {
+      const std::string* host = AuditField(record, "host");
+      if (host != nullptr && hosts.find(*host) == hosts.end()) continue;
+    }
+    out += Line(record);
+  }
+
+  out += "-- lifecycle --\n";
+  std::string outcome = "unresolved";
+  for (const AuditRecord& record : records_) {
+    const std::string* rnid = AuditField(record, "nid");
+    if (rnid == nullptr || *rnid != nid) continue;
+    const std::string* slot = AuditField(record, "slot");
+    if (index >= 0 && slot != nullptr && *slot != slot_key) continue;
+    out += Line(record);
+    const std::string_view kind(record.kind);
+    const std::string* host = AuditField(record, "host");
+    if (kind == "reserve_granted" && slot != nullptr) {
+      outcome = "granted on " + (host != nullptr ? *host : std::string("?"));
+    } else if (kind == "reserve_failed" && slot != nullptr) {
+      const std::string* code = AuditField(record, "code");
+      outcome = "failed (" + (code != nullptr ? *code : std::string("?")) +
+                ") on " + (host != nullptr ? *host : std::string("?"));
+    } else if (kind == "reservation_cancelled" && slot != nullptr) {
+      outcome = "cancelled on " +
+                (host != nullptr ? *host : std::string("?"));
+    }
+  }
+
+  out += "-- outcome --\n";
+  if (index >= 0) out += "slot " + slot_key + ": " + outcome + '\n';
+  for (const AuditRecord& record : records_) {
+    const std::string* rnid = AuditField(record, "nid");
+    if (rnid == nullptr || *rnid != nid) continue;
+    const std::string_view kind(record.kind);
+    if (kind == "negotiation_success" || kind == "negotiation_failed") {
+      out += Line(record);
+    }
+  }
+  return out;
+}
+
+}  // namespace legion::obs

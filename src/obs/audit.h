@@ -1,0 +1,79 @@
+// The decision audit log: *why* the control plane did what it did.
+//
+// Traces (obs/trace.h) record that an RPC happened; metrics record how
+// many.  Neither answers the production question "why did mapping 3 land
+// on host H / fail?".  The audit log captures decision records at the
+// choice points: schedulers log candidate counts, filter reasons
+// (suspect-skip, staleness refresh, index fallback) and chosen-host
+// rationale; the Enactor logs every reservation-slot lifecycle
+// transition (requested -> batched/parked -> retried / breaker-fast-fail
+// -> granted / failed / cancelled) keyed by a per-negotiation id, so the
+// full placement story of one mapping is reconstructable afterwards --
+// by ExplainMapping() here, or by scripts/explain.py over the JSONL
+// export.
+//
+// Cost model: off by default, like tracing.  Every recording site guards
+// with enabled(), so a disabled log records nothing and allocates
+// nothing.  Record ordering is the deterministic execution order and
+// timestamps are sim-time, so same-seed runs export byte-identical
+// JSONL.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/sim_time.h"
+#include "obs/trace.h"  // TraceArg/TraceArgs: the key/value vocabulary
+
+namespace legion::obs {
+
+struct AuditRecord {
+  std::uint64_t seq = 0;  // 1-based, minted in record order
+  SimTime ts;
+  const char* kind = "";  // static string, e.g. "reserve_granted"
+  TraceArgs fields;
+
+  // One JSON object, keys in a fixed order (seq, t, kind, fields...).
+  std::string ToJson() const;
+};
+
+class DecisionLog {
+ public:
+  bool enabled() const { return enabled_; }
+  void Enable() { enabled_ = true; }
+  void Disable() { enabled_ = false; }
+
+  // Appends one record.  `kind` must be a static string.  No-op when
+  // disabled; call sites that build fields should guard with enabled()
+  // to skip the allocations too.
+  void Record(SimTime ts, const char* kind, TraceArgs fields);
+
+  const std::vector<AuditRecord>& records() const { return records_; }
+  std::size_t size() const { return records_.size(); }
+  void Clear();
+
+  // One JSON object per line, in record order.
+  std::string ToJsonl() const;
+
+  // Reconstructs the placement story of slot `index` in negotiation
+  // `negotiation` (the id ScheduleFeedback reports): the scheduler
+  // decisions that aimed or re-aimed it (candidate counts, suspect
+  // skips, rationale), then every lifecycle transition in order, then a
+  // final-status line.  `index` < 0 explains every slot of the
+  // negotiation.  Deterministic text; scripts/explain.py produces the
+  // same report from the JSONL export.
+  std::string ExplainMapping(std::uint64_t negotiation,
+                             std::int64_t index = -1) const;
+
+ private:
+  bool enabled_ = false;
+  std::uint64_t next_seq_ = 1;
+  std::vector<AuditRecord> records_;
+};
+
+// Field lookup helper shared by ExplainMapping and tests.
+const std::string* AuditField(const AuditRecord& record,
+                              std::string_view key);
+
+}  // namespace legion::obs

@@ -1,0 +1,57 @@
+// The single wall-time source for the whole reproduction.
+//
+// Everything in the simulation runs on the deterministic virtual clock
+// (SimTime); wall time only ever appears as a *measurement* -- how many
+// real microseconds a Collection query or an event handler burned.  PR 3
+// had to exclude the one wall-clock histogram from the same-seed chaos
+// fingerprints because those measurements diverge run to run.  This hook
+// closes that hole: every wall-time reading in the repo goes through the
+// kernel's WallClock, and the clock is *pinned* by default -- Micros()
+// returns a constant, so measured deltas are zero and every fingerprint
+// (metrics snapshots, profiler dumps, recorder timelines) is
+// byte-identical across same-seed runs with no exclusions.
+//
+// Benches and interactive runs that want real measurements opt in with
+// UseRealTime(); tests can Pin() any value to fake a cost.  The accuracy
+// of the simulation never depends on this clock -- only the two
+// wall-cost observers (the Collection's query_wall_us histogram and the
+// kernel profiler's per-handler wall accounting) read it.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace legion::obs {
+
+class WallClock {
+ public:
+  // Pinned (deterministic) by default: Micros() returns the pinned
+  // value, so interval measurements come out zero.
+  std::int64_t Micros() const { return real_ ? RealMicros() : pinned_; }
+
+  // Switch to the real monotonic clock.  Measurements become genuine
+  // wall costs -- and nondeterministic; never enable on a fingerprint
+  // path.
+  void UseRealTime() { real_ = true; }
+
+  // Pin the clock to a constant (tests fake costs by re-pinning between
+  // the start and end reads).  Pin(0) restores the default.
+  void Pin(std::int64_t micros) {
+    real_ = false;
+    pinned_ = micros;
+  }
+
+  bool real_time() const { return real_; }
+
+  static std::int64_t RealMicros() {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+ private:
+  bool real_ = false;
+  std::int64_t pinned_ = 0;
+};
+
+}  // namespace legion::obs

@@ -4,9 +4,10 @@
 
 namespace legion {
 
-EventId EventQueue::Schedule(SimTime when, EventFn fn) {
+EventId EventQueue::Schedule(SimTime when, EventFn fn, const char* label,
+                             SimTime enqueued) {
   EventId id = next_id_++;
-  heap_.push(Entry{when, id, std::move(fn)});
+  heap_.push(Entry{when, id, std::move(fn), label, enqueued});
   pending_.insert(id);
   return id;
 }
@@ -41,7 +42,7 @@ EventQueue::Popped EventQueue::Pop() {
   // priority_queue::top() is const; the entry is moved out via const_cast,
   // which is safe because pop() immediately removes it.
   Entry& top = const_cast<Entry&>(heap_.top());
-  Popped popped{top.when, top.id, std::move(top.fn)};
+  Popped popped{top.when, top.id, std::move(top.fn), top.label, top.enqueued};
   pending_.erase(popped.id);
   heap_.pop();
   return popped;

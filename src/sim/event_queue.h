@@ -24,7 +24,11 @@ class EventQueue {
   using EventFn = std::function<void()>;
 
   // Schedules `fn` at absolute time `when`; returns a cancellable id.
-  EventId Schedule(SimTime when, EventFn fn);
+  // `label` is an optional static "component/kind" string and `enqueued`
+  // the scheduling instant -- both pure accounting carried for the
+  // kernel profiler, with no effect on ordering or execution.
+  EventId Schedule(SimTime when, EventFn fn, const char* label = nullptr,
+                   SimTime enqueued = SimTime::Zero());
 
   // Cancels a pending event.  Returns false if already run or cancelled.
   bool Cancel(EventId id);
@@ -40,6 +44,8 @@ class EventQueue {
     SimTime when;
     EventId id;
     EventFn fn;
+    const char* label;  // nullptr when the scheduler left it unlabeled
+    SimTime enqueued;
   };
   Popped Pop();
 
@@ -48,6 +54,8 @@ class EventQueue {
     SimTime when;
     EventId id;  // doubles as the deterministic tie-breaker
     EventFn fn;
+    const char* label;
+    SimTime enqueued;
   };
   struct Later {
     bool operator()(const Entry& a, const Entry& b) const {

@@ -49,22 +49,27 @@ void SimKernel::ResetStats() {
   cells_.rpc_latency_error->Reset();
 }
 
-EventId SimKernel::ScheduleAt(SimTime when, EventQueue::EventFn fn) {
+EventId SimKernel::ScheduleAt(SimTime when, EventQueue::EventFn fn,
+                              const char* label) {
   assert(when >= now_ && "cannot schedule in the past");
-  return queue_.Schedule(when, std::move(fn));
+  EventId id = queue_.Schedule(when, std::move(fn), label, now_);
+  if (profiler_.enabled()) profiler_.RecordQueueDepth(queue_.size());
+  return id;
 }
 
-EventId SimKernel::ScheduleAfter(Duration delay, EventQueue::EventFn fn) {
-  return ScheduleAt(now_ + delay, std::move(fn));
+EventId SimKernel::ScheduleAfter(Duration delay, EventQueue::EventFn fn,
+                                 const char* label) {
+  return ScheduleAt(now_ + delay, std::move(fn), label);
 }
 
 SimKernel::PeriodicId SimKernel::SchedulePeriodic(Duration period,
                                                   std::function<void()> fn) {
   PeriodicId id = next_periodic_++;
   auto shared_fn = std::make_shared<std::function<void()>>(std::move(fn));
-  periodic_[id] = ScheduleAfter(period, [this, id, period, shared_fn] {
-    RepeatPeriodic(id, period, shared_fn);
-  });
+  periodic_[id] = ScheduleAfter(
+      period,
+      [this, id, period, shared_fn] { RepeatPeriodic(id, period, shared_fn); },
+      "kernel/periodic");
   return id;
 }
 
@@ -77,7 +82,8 @@ void SimKernel::RepeatPeriodic(PeriodicId id, Duration period,
   it = periodic_.find(id);
   if (it == periodic_.end()) return;
   it->second = ScheduleAfter(
-      period, [this, id, period, fn] { RepeatPeriodic(id, period, fn); });
+      period, [this, id, period, fn] { RepeatPeriodic(id, period, fn); },
+      "kernel/periodic");
 }
 
 void SimKernel::CancelPeriodic(PeriodicId id) {
@@ -92,13 +98,28 @@ std::uint64_t SimKernel::RunUntil(SimTime until) {
   while (!queue_.empty()) {
     SimTime next = queue_.NextTime();
     if (next > until) break;
+    // Close recorder windows that end before the next event runs; the
+    // recorder itself never schedules, so enabling it cannot change
+    // events_run or any other fingerprint.
+    recorder_.MaybeSample(next);
     auto ev = queue_.Pop();
     now_ = ev.when;
-    ev.fn();
+    if (profiler_.enabled()) {
+      const std::int64_t wall_before = wallclock_.Micros();
+      ev.fn();
+      profiler_.RecordHandler(ev.label != nullptr ? ev.label : "kernel/event",
+                              ev.when - ev.enqueued,
+                              wallclock_.Micros() - wall_before);
+    } else {
+      ev.fn();
+    }
     ++executed;
     cells_.events_run->Add();
   }
-  if (now_ < until && until < SimTime::Max()) now_ = until;
+  if (now_ < until && until < SimTime::Max()) {
+    now_ = until;
+    recorder_.FlushThrough(until);
+  }
   return executed;
 }
 
@@ -136,15 +157,18 @@ bool SimKernel::Send(const Loid& from, const Loid& to, std::size_t bytes,
                          {{"from", from.ToString()},
                           {"to", to.ToString()},
                           {"bytes", std::to_string(bytes)}});
-    ScheduleAfter(*latency, [this, span, fn = std::move(fn)] {
-      {
-        obs::ScopedCurrent ctx(trace_, span);
-        fn();
-      }
-      trace_.EndSpan(now_, span);
-    });
+    ScheduleAfter(
+        *latency,
+        [this, span, fn = std::move(fn)] {
+          {
+            obs::ScopedCurrent ctx(trace_, span);
+            fn();
+          }
+          trace_.EndSpan(now_, span);
+        },
+        "net/msg");
   } else {
-    ScheduleAfter(*latency, std::move(fn));
+    ScheduleAfter(*latency, std::move(fn), "net/msg");
   }
   return true;
 }

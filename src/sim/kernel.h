@@ -24,10 +24,14 @@
 #include "base/loid.h"
 #include "base/result.h"
 #include "base/sim_time.h"
+#include "obs/audit.h"
 #include "obs/metrics.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
+#include "obs/wallclock.h"
 #include "sim/event_queue.h"
 #include "sim/network.h"
+#include "sim/profiler.h"
 
 namespace legion {
 
@@ -88,10 +92,26 @@ class SimKernel {
   const obs::MetricsRegistry& metrics() const { return metrics_; }
   obs::TraceLog& trace() { return trace_; }
   const obs::TraceLog& trace() const { return trace_; }
+  // Flight recorder (observability v2): windowed metric timelines, the
+  // per-handler kernel profiler, the decision audit log, and the single
+  // wall-time source -- pinned by default so every export stays
+  // deterministic.  All are off/no-op until explicitly enabled.
+  obs::TimeSeriesRecorder& recorder() { return recorder_; }
+  const obs::TimeSeriesRecorder& recorder() const { return recorder_; }
+  KernelProfiler& profiler() { return profiler_; }
+  const KernelProfiler& profiler() const { return profiler_; }
+  obs::DecisionLog& audit() { return audit_; }
+  const obs::DecisionLog& audit() const { return audit_; }
+  obs::WallClock& wallclock() { return wallclock_; }
+  const obs::WallClock& wallclock() const { return wallclock_; }
 
   // ---- Event scheduling -------------------------------------------------
-  EventId ScheduleAt(SimTime when, EventQueue::EventFn fn);
-  EventId ScheduleAfter(Duration delay, EventQueue::EventFn fn);
+  // `label` is an optional static "component/kind" string for the kernel
+  // profiler's per-handler accounting (nullptr buckets as "kernel/event").
+  EventId ScheduleAt(SimTime when, EventQueue::EventFn fn,
+                     const char* label = nullptr);
+  EventId ScheduleAfter(Duration delay, EventQueue::EventFn fn,
+                        const char* label = nullptr);
   bool Cancel(EventId id) { return queue_.Cancel(id); }
 
   // Periodic timer; returns a handle that stops the timer when cancelled
@@ -106,6 +126,7 @@ class SimKernel {
   std::uint64_t Run() { return RunUntil(SimTime::Max()); }
   std::uint64_t RunFor(Duration d) { return RunUntil(now_ + d); }
   bool Idle() const { return queue_.empty(); }
+  std::size_t queue_size() const { return queue_.size(); }
 
   // ---- Actor registry ---------------------------------------------------
   // The kernel owns its actors; AddActor transfers ownership.
@@ -162,6 +183,10 @@ class SimKernel {
   LoidMinter minter_;
   obs::MetricsRegistry metrics_;
   obs::TraceLog trace_;
+  obs::TimeSeriesRecorder recorder_;
+  KernelProfiler profiler_;
+  obs::DecisionLog audit_;
+  obs::WallClock wallclock_;
   Cells cells_;
   mutable KernelStats stats_view_;
   std::unordered_map<Loid, std::unique_ptr<Actor>> actors_;
@@ -179,6 +204,7 @@ void SimKernel::AsyncCall(const Loid& from, const Loid& to,
                           std::function<void(Callback<T>)> invoke,
                           Callback<T> done, const char* op) {
   cells_.rpcs_started->Add();
+  if (profiler_.enabled()) profiler_.RpcStarted();
   const SimTime started = now_;
   // Causal span for the whole call; the callee runs inside it, so RPCs it
   // issues become children and the negotiation tree links up.
@@ -196,12 +222,16 @@ void SimKernel::AsyncCall(const Loid& from, const Loid& to,
     EventId timeout_event = kInvalidEventId;
   };
   auto pending = std::make_shared<Pending>();
-  auto finish = [this, pending, span, caller_span, started,
+  auto finish = [this, pending, span, caller_span, started, op,
                  done = std::move(done)](Result<T> r) {
     if (pending->finished) return;
     pending->finished = true;
     if (pending->timeout_event != kInvalidEventId) {
       queue_.Cancel(pending->timeout_event);
+    }
+    if (profiler_.enabled()) {
+      profiler_.RpcFinished();
+      profiler_.RecordRpc(op, now_ - started);
     }
     const char* outcome;
     const double latency_us = static_cast<double>((now_ - started).micros());
@@ -229,9 +259,12 @@ void SimKernel::AsyncCall(const Loid& from, const Loid& to,
   };
 
   if (timeout > Duration::Zero()) {
-    pending->timeout_event = ScheduleAt(now_ + timeout, [finish] {
-      finish(Status::Error(ErrorCode::kTimeout, "rpc timeout"));
-    });
+    pending->timeout_event = ScheduleAt(
+        now_ + timeout,
+        [finish] {
+          finish(Status::Error(ErrorCode::kTimeout, "rpc timeout"));
+        },
+        "kernel/rpc_timeout");
   }
 
   // Reply path: callee invokes this; result crosses the network back.

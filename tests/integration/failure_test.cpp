@@ -4,7 +4,6 @@
 // recovers rather than wedging.
 #include <gtest/gtest.h>
 
-#include <sstream>
 
 #include "core/migration.h"
 #include "core/schedulers/irs_scheduler.h"
@@ -361,17 +360,10 @@ TEST_F(FailureTest, SameSeedChaosRunsAreDeterministic) {
                                   });
       world.kernel.RunFor(Duration::Seconds(30));
     }
-    // Strip the one wall-clock metric (DESIGN.md §7): the Collection's
-    // query evaluation-cost histogram measures host time, not simulated
-    // time, so it legitimately varies run to run.
-    std::istringstream snapshot(world.kernel.metrics().SnapshotJson());
-    std::string filtered;
-    for (std::string line; std::getline(snapshot, line);) {
-      if (line.find("collection_query_wall_us") != std::string::npos) continue;
-      filtered += line;
-      filtered += '\n';
-    }
-    return outcomes + "\n" + filtered;
+    // No exclusions: wall time routes through the kernel's WallClock,
+    // which is pinned by default, so even collection_query_wall_us is
+    // byte-identical across same-seed runs.
+    return outcomes + "\n" + world.kernel.metrics().SnapshotJson();
   };
   EXPECT_EQ(run_once(), run_once());
 }

@@ -1,0 +1,142 @@
+#include "obs/audit.h"
+
+#include <gtest/gtest.h>
+
+namespace legion::obs {
+namespace {
+
+SimTime At(std::int64_t secs) { return SimTime::Zero() + Duration::Seconds(secs); }
+
+TEST(DecisionLog, DisabledLogRecordsNothing) {
+  DecisionLog log;
+  EXPECT_FALSE(log.enabled());
+  log.Record(At(1), "reserve_requested", {{"nid", "1"}});
+  EXPECT_EQ(log.size(), 0u);
+  EXPECT_EQ(log.ToJsonl(), "");
+}
+
+TEST(DecisionLog, RecordsCarrySequenceAndOrder) {
+  DecisionLog log;
+  log.Enable();
+  log.Record(At(1), "a", {});
+  log.Record(At(1), "b", {});
+  log.Record(At(2), "c", {});
+  ASSERT_EQ(log.size(), 3u);
+  EXPECT_EQ(log.records()[0].seq, 1u);
+  EXPECT_EQ(log.records()[2].seq, 3u);
+  EXPECT_STREQ(log.records()[1].kind, "b");
+  log.Clear();
+  EXPECT_EQ(log.size(), 0u);
+  log.Record(At(3), "d", {});
+  EXPECT_EQ(log.records()[0].seq, 1u);  // sequence restarts after Clear
+}
+
+TEST(DecisionLog, JsonlKeepsFieldOrderAndEscapes) {
+  DecisionLog log;
+  log.Enable();
+  log.Record(At(1), "sched_choice",
+             {{"scheduler", "irs"}, {"host", "loid<1.2.3>"}, {"reason", "a\"b"}});
+  const std::string jsonl = log.ToJsonl();
+  EXPECT_EQ(jsonl, log.ToJsonl());  // deterministic
+  EXPECT_NE(jsonl.find("\"seq\":1"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"t\":1000000"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"kind\":\"sched_choice\""), std::string::npos);
+  // Fields in record order, values escaped.
+  EXPECT_LT(jsonl.find("\"scheduler\""), jsonl.find("\"host\""));
+  EXPECT_NE(jsonl.find("a\\\"b"), std::string::npos);
+  EXPECT_EQ(jsonl.back(), '\n');
+}
+
+// A hand-built negotiation story: scheduler skips a suspect host, picks
+// another; the Enactor requests, suffers a transient failure, retries,
+// and finally lands the grant.  ExplainMapping must stitch all of it
+// together for the one slot.
+DecisionLog StoryLog() {
+  DecisionLog log;
+  log.Enable();
+  log.Record(At(1), "sched_query",
+             {{"scheduler", "irs"}, {"query", "cpus >= 1"}, {"candidates", "4"}});
+  log.Record(At(1), "sched_suspect_skip",
+             {{"scheduler", "irs"}, {"host", "H_BAD"}, {"reason", "breaker_open"}});
+  log.Record(At(1), "sched_filter",
+             {{"scheduler", "irs"}, {"pool", "4"}, {"healthy", "3"}, {"skipped", "1"}});
+  log.Record(At(1), "sched_choice",
+             {{"scheduler", "irs"}, {"slot", "0"}, {"class", "app"},
+              {"host", "H_GOOD"}, {"reason", "random draw"}});
+  log.Record(At(1), "sched_choice",
+             {{"scheduler", "irs"}, {"slot", "1"}, {"class", "app"},
+              {"host", "H_OTHER"}, {"reason", "random draw"}});
+  log.Record(At(2), "negotiation_begin", {{"nid", "7"}, {"masters", "1"}});
+  log.Record(At(2), "reserve_requested",
+             {{"nid", "7"}, {"slot", "0"}, {"host", "H_GOOD"}, {"batch", "1"},
+              {"attempt", "1"}});
+  log.Record(At(3), "reserve_retry",
+             {{"nid", "7"}, {"slot", "0"}, {"host", "H_GOOD"}, {"attempt", "2"}});
+  log.Record(At(4), "reserve_granted",
+             {{"nid", "7"}, {"slot", "0"}, {"host", "H_GOOD"}});
+  log.Record(At(4), "negotiation_success",
+             {{"nid", "7"}, {"master", "0"}, {"variants", "0"}});
+  // A different negotiation that must not leak into the story.
+  log.Record(At(5), "reserve_failed",
+             {{"nid", "8"}, {"slot", "0"}, {"host", "H_OTHER"}, {"code", "TIMEOUT"}});
+  return log;
+}
+
+TEST(DecisionLog, ExplainMappingReconstructsSlotStory) {
+  const DecisionLog log = StoryLog();
+  const std::string report = log.ExplainMapping(7, 0);
+
+  EXPECT_NE(report.find("== negotiation 7 slot 0 =="), std::string::npos);
+  // Scheduler context: the suspect skip and the choice that aimed slot 0.
+  EXPECT_NE(report.find(
+                "sched_suspect_skip scheduler=irs host=H_BAD "
+                "reason=breaker_open"),
+            std::string::npos);
+  EXPECT_NE(report.find("sched_choice"), std::string::npos);
+  EXPECT_NE(report.find("host=H_GOOD"), std::string::npos);
+  // The slot-1 choice (H_OTHER) is noise for slot 0 and must be elided.
+  EXPECT_EQ(report.find("host=H_OTHER"), std::string::npos);
+  // Lifecycle in order: requested -> retry -> granted.
+  const std::size_t requested = report.find("reserve_requested");
+  const std::size_t retry = report.find("reserve_retry");
+  const std::size_t granted = report.find("reserve_granted");
+  ASSERT_NE(requested, std::string::npos);
+  ASSERT_NE(retry, std::string::npos);
+  ASSERT_NE(granted, std::string::npos);
+  EXPECT_LT(requested, retry);
+  EXPECT_LT(retry, granted);
+  // Final status.
+  EXPECT_NE(report.find("slot 0: granted on H_GOOD"), std::string::npos);
+  EXPECT_NE(report.find("negotiation_success"), std::string::npos);
+  // Negotiation 8's failure stays out.
+  EXPECT_EQ(report.find("code=TIMEOUT"), std::string::npos);
+  // The correlation id is in the header, not repeated per line.
+  EXPECT_EQ(report.find("nid=7"), std::string::npos);
+}
+
+TEST(DecisionLog, ExplainMappingUnscopedCoversAllSlots) {
+  const DecisionLog log = StoryLog();
+  const std::string report = log.ExplainMapping(7);
+  EXPECT_NE(report.find("== negotiation 7 =="), std::string::npos);
+  // Unscoped: both choices show (no host-set pruning of sched_choice).
+  EXPECT_NE(report.find("host=H_OTHER"), std::string::npos);
+  EXPECT_NE(report.find("reserve_granted"), std::string::npos);
+}
+
+TEST(DecisionLog, ExplainMappingTracksFailureOutcome) {
+  const DecisionLog log = StoryLog();
+  const std::string report = log.ExplainMapping(8, 0);
+  EXPECT_NE(report.find("slot 0: failed (TIMEOUT) on H_OTHER"),
+            std::string::npos);
+}
+
+TEST(AuditField, FindsFirstMatchingKey) {
+  AuditRecord record;
+  record.fields = {{"a", "1"}, {"b", "2"}};
+  ASSERT_NE(AuditField(record, "b"), nullptr);
+  EXPECT_EQ(*AuditField(record, "b"), "2");
+  EXPECT_EQ(AuditField(record, "missing"), nullptr);
+}
+
+}  // namespace
+}  // namespace legion::obs

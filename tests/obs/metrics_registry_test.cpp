@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 namespace legion::obs {
 namespace {
 
@@ -39,6 +42,55 @@ TEST(Histogram, BucketsAreInclusiveUpperBounds) {
   h.Reset();
   EXPECT_EQ(h.count(), 0u);
   EXPECT_EQ(h.bucket_count(2), 0u);
+}
+
+TEST(Histogram, ExactUpperBoundHitsLandInTheirBucket) {
+  // Every bound is an inclusive upper edge: a value exactly equal to
+  // bounds[i] lands in bucket i, never in i+1.
+  Histogram h({1.0, 10.0, 100.0});
+  h.Observe(1.0);
+  h.Observe(10.0);
+  h.Observe(100.0);
+  EXPECT_EQ(h.bucket_count(0), 1u);
+  EXPECT_EQ(h.bucket_count(1), 1u);
+  EXPECT_EQ(h.bucket_count(2), 1u);
+  EXPECT_EQ(h.bucket_count(3), 0u);  // nothing leaked into +inf
+
+  // Just past an edge goes to the next bucket; just below stays.
+  h.Observe(std::nextafter(10.0, 11.0));
+  EXPECT_EQ(h.bucket_count(2), 2u);
+  h.Observe(std::nextafter(10.0, 0.0));
+  EXPECT_EQ(h.bucket_count(1), 2u);
+}
+
+TEST(Histogram, InfCatchAllAndExtremes) {
+  Histogram h({0.0, 50.0});
+  // Negative and zero observations land in the first bucket (<= 0).
+  h.Observe(-5.0);
+  h.Observe(0.0);
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  // Anything beyond the last bound -- including the largest finite
+  // double -- lands in the implicit +inf catch-all.
+  h.Observe(50.000001);
+  h.Observe(std::numeric_limits<double>::max());
+  EXPECT_EQ(h.bucket_count(2), 2u);
+  EXPECT_EQ(h.count(), 4u);
+  // Bucket counts always sum to count(): nothing dropped at the edges.
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i <= h.bounds().size(); ++i) {
+    total += h.bucket_count(i);
+  }
+  EXPECT_EQ(total, h.count());
+}
+
+TEST(Histogram, LatencyBucketEdgesAreInclusive) {
+  // The shared latency buckets behave the same way: an RPC that takes
+  // exactly a bucket edge (e.g. 100us) must not be counted as slower.
+  Histogram h(LatencyBucketsUs());
+  const double first_edge = h.bounds().front();
+  h.Observe(first_edge);
+  EXPECT_EQ(h.bucket_count(0), 1u);
+  EXPECT_EQ(h.bucket_count(1), 0u);
 }
 
 TEST(MetricsRegistry, SameNameAndLabelsResolveToSameCell) {

@@ -134,6 +134,59 @@ TEST(MetacomputerTest, UniversalClassMatchesEveryHost) {
   }
 }
 
+TEST(MetacomputerTest, ResetAllStatsWithLiveRecorderWindows) {
+  SimKernel kernel(QuietNet());
+  MetacomputerConfig config;
+  config.domains = 2;
+  config.hosts_per_domain = 2;
+  config.seed = 5;
+  Metacomputer metacomputer(&kernel, config);
+
+  // A recorder window is open across the reset: the cumulative series
+  // must clamp the post-reset delta to the new value instead of
+  // reporting a negative window.
+  obs::TimeSeriesRecorder& recorder = kernel.recorder();
+  recorder.options().sample_period = Duration::Seconds(1);
+  obs::Counter* messages =
+      kernel.metrics().GetCounter("messages_sent", {{"component", "kernel"}});
+  recorder.WatchCounter("kernel/messages_sent", messages);
+  recorder.Start(kernel.Now());
+
+  // Two populate rounds so the pre-reset total strictly exceeds any
+  // single post-reset burst -- the straddling window must see a drop.
+  metacomputer.PopulateCollection();
+  metacomputer.PopulateCollection();
+  metacomputer.Settle(Duration::Seconds(3));
+  const std::uint64_t before_reset = messages->value();
+  ASSERT_GT(before_reset, 0u);
+  const std::size_t windows_before =
+      recorder.samples("kernel/messages_sent").size();
+  ASSERT_GT(windows_before, 0u);
+
+  metacomputer.ResetAllStats();  // mid-window: counter drops to zero
+  EXPECT_EQ(messages->value(), 0u);
+  metacomputer.PopulateCollection();
+  metacomputer.Settle(Duration::Seconds(3));
+
+  const auto& samples = recorder.samples("kernel/messages_sent");
+  ASSERT_GT(samples.size(), windows_before);
+  bool saw_reset_window = false;
+  for (std::size_t i = 1; i < samples.size(); ++i) {
+    EXPECT_GE(samples[i].delta, 0.0)
+        << "cumulative series must never report a negative window";
+    EXPECT_GE(samples[i].rate, 0.0);
+    if (samples[i].value < samples[i - 1].value) {
+      // The window that straddles the reset: delta clamps to the value
+      // accumulated since the reset, not (new - old).
+      EXPECT_DOUBLE_EQ(samples[i].delta, samples[i].value);
+      saw_reset_window = true;
+    }
+  }
+  EXPECT_TRUE(saw_reset_window);
+  // The recorder stays armed through the reset.
+  EXPECT_TRUE(recorder.active());
+}
+
 TEST(MetacomputerTest, FindHostAndVaultResolve) {
   SimKernel kernel(QuietNet());
   Metacomputer metacomputer(&kernel, MetacomputerConfig{});
